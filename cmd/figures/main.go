@@ -1,0 +1,101 @@
+// Command figures regenerates the paper's evaluation figures. Each figure
+// prints its normalized execution-time breakdown and (where the paper shows
+// one) its normalized L2 miss breakdown, in the same bar order as the paper.
+//
+//	figures            # all figures, paper-fidelity protocol (~minutes)
+//	figures -quick     # scaled-down database, short runs
+//	figures -fig 7     # just Figure 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/experiments"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "scaled-down database and short runs")
+		fig     = flag.String("fig", "all", "which figure: 3,5,6,7,8,10,11,12,13 or all")
+		warmup  = flag.Uint64("warmup", 0, "override warmup transactions")
+		measure = flag.Uint64("txns", 0, "override measured transactions")
+		detail  = flag.Bool("detail", false, "print per-bar diagnostics")
+		compare = flag.Bool("compare", false, "score each figure against the paper's published values")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	if *warmup > 0 {
+		opt.WarmupTxns = *warmup
+	}
+	if *measure > 0 {
+		opt.MeasureTxns = *measure
+	}
+
+	want := func(id string) bool { return *fig == "all" || *fig == id }
+
+	if want("3") {
+		printFigure3()
+	}
+
+	type runner struct {
+		id     string
+		run    func(experiments.Options) experiments.Figure
+		misses bool
+	}
+	runners := []runner{
+		{"5", experiments.Fig05, true},
+		{"6", experiments.Fig06, true},
+		{"7", experiments.Fig07, true},
+		{"8", experiments.Fig08, true},
+		{"10", experiments.Fig10Uni, false},
+		{"10", experiments.Fig10MP, false},
+		{"11", experiments.Fig11, true},
+		{"12", experiments.Fig12Small, false},
+		{"12", experiments.Fig12Large, false},
+		{"13", experiments.Fig13Uni, false},
+		{"13", experiments.Fig13MP, false},
+	}
+	ran := false
+	for _, r := range runners {
+		if !want(r.id) {
+			continue
+		}
+		ran = true
+		f := r.run(opt)
+		fmt.Println(f.RenderExec())
+		if r.misses {
+			fmt.Println(f.RenderMisses())
+		}
+		if *detail {
+			fmt.Println(f.RenderDetail())
+		}
+		if *compare {
+			if rows := experiments.Compare(&f); len(rows) > 0 {
+				fmt.Println(experiments.RenderComparison(rows))
+			}
+		}
+		fmt.Println(strings.Repeat("-", 72))
+	}
+	if !ran && !want("3") {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printFigure3() {
+	fmt.Println("Figure 3 — Memory latencies for different configurations (cycles @ 1 GHz)")
+	fmt.Printf("%-28s %6s %6s %7s %7s\n", "configuration", "L2Hit", "Local", "Remote", "Dirty")
+	for _, row := range core.FigureThree() {
+		fmt.Printf("%-28s %6d %6d %7d %7d\n",
+			row.Label, row.Lat.L2Hit, row.Lat.Local, row.Lat.Remote, row.Lat.RemoteDirty)
+	}
+	fmt.Println(strings.Repeat("-", 72))
+}

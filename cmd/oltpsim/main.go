@@ -1,0 +1,57 @@
+// Command oltpsim runs one machine configuration against the OLTP workload
+// and prints its execution-time breakdown and L2 miss profile.
+//
+// Examples:
+//
+//	oltpsim -procs 8 -level base -l2 8M -assoc 1
+//	oltpsim -procs 1 -level l2 -l2 2M -assoc 8
+//	oltpsim -procs 8 -level full -l2 2M -assoc 8 -ooo
+//	oltpsim -procs 8 -level full -l2 1M -assoc 4 -rac 8M -repl
+//	oltpsim -procs 8 -level full -l2 2M -assoc 8 -cores 2   # CMP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oltpsim/internal/cli"
+	"oltpsim/internal/experiments"
+)
+
+func main() {
+	var (
+		spec    cli.MachineSpec
+		warmup  = flag.Uint64("warmup", 3000, "warmup transactions")
+		measure = flag.Uint64("txns", 2000, "measured transactions")
+		quick   = flag.Bool("quick", false, "scaled-down database for fast runs")
+	)
+	flag.IntVar(&spec.Procs, "procs", 1, "processor count (1 or 8 in the paper)")
+	flag.StringVar(&spec.Level, "level", "base", "integration level: cons|base|l2|l2mc|full")
+	flag.StringVar(&spec.L2, "l2", "8M", "L2 size (e.g. 1M, 1.25M, 2M, 8M)")
+	flag.IntVar(&spec.Assoc, "assoc", 1, "L2 associativity")
+	flag.BoolVar(&spec.DRAM, "dram", false, "use on-chip DRAM for an integrated L2")
+	flag.BoolVar(&spec.OOO, "ooo", false, "out-of-order processor model")
+	flag.StringVar(&spec.RACSize, "rac", "", "add a remote access cache of this size (e.g. 8M)")
+	flag.BoolVar(&spec.Repl, "repl", false, "replicate code pages at every node")
+	flag.IntVar(&spec.Cores, "cores", 1, "cores per chip (CMP extension; 1 = paper)")
+	flag.Parse()
+
+	cfg, err := cli.Build(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oltpsim:", err)
+		os.Exit(2)
+	}
+
+	opt := experiments.DefaultOptions()
+	opt.WarmupTxns = *warmup
+	opt.MeasureTxns = *measure
+	opt.Quick = *quick
+
+	res := opt.Run(cfg)
+	fmt.Printf("configuration: %s (%s, %d processor(s))\n", cfg.Name, cfg.Level, cfg.Processors)
+	lat := cfg.Latencies()
+	fmt.Printf("latencies: L2 hit %d, local %d, remote %d, remote dirty %d\n",
+		lat.L2Hit, lat.Local, lat.Remote, lat.RemoteDirty)
+	fmt.Print(res.Summary())
+}

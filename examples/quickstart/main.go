@@ -1,0 +1,28 @@
+// Quickstart: simulate OLTP on a fully integrated chip (Alpha 21364-like)
+// and on the off-chip Base design, and report the speedup — the paper's
+// headline experiment in a dozen lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"oltpsim"
+)
+
+func main() {
+	opt := oltpsim.QuickOptions() // scaled-down database; fast
+	opt.MeasureTxns = 800
+
+	base := opt.Run(oltpsim.BaseConfig(8, 8*oltpsim.MB, 1))
+	full := opt.Run(oltpsim.FullIntegrationConfig(8, 2*oltpsim.MB, 8))
+
+	fmt.Println("Base (everything off-chip, 8 MB direct-mapped L2):")
+	fmt.Print(base.Summary())
+	fmt.Println("\nFull integration (on-chip 2 MB 8-way L2 + MC + CC/NR):")
+	fmt.Print(full.Summary())
+
+	fmt.Printf("\nchip-level integration speedup: %.2fx (paper reports ~1.4x)\n",
+		full.Speedup(&base))
+}

@@ -1,0 +1,263 @@
+// Package cache implements the set-associative cache model used for the L1
+// instruction, L1 data, and L2 caches of every simulated processor, plus the
+// shadow structures that classify misses into cold, capacity, and conflict
+// misses (the paper's Section 3/8 argument that large direct-mapped off-chip
+// caches mostly remove conflict misses hinges on this classification).
+//
+// The model is a tag store only: data values live in the functional workload
+// engine, so the cache tracks presence and coherence state per 64-byte line.
+// Replacement is true LRU within a set.
+package cache
+
+import "fmt"
+
+// State is the coherence state of a line in a cache. The same enum serves the
+// private L1s (which only use Invalid/Exclusive/Modified relative to their
+// L2) and the L2s (which hold directory-visible MESI states).
+type State uint8
+
+const (
+	// Invalid: line not present.
+	Invalid State = iota
+	// Shared: present read-only; other caches may hold copies.
+	Shared
+	// Exclusive: present read-only but guaranteed sole copy; a write may
+	// upgrade silently to Modified without a directory transaction.
+	Exclusive
+	// Modified: present, writable, dirty with respect to memory.
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Config describes one cache.
+type Config struct {
+	// Name appears in statistics output (e.g. "L1I", "L2").
+	Name string
+	// SizeBytes is the total capacity. It must be a multiple of
+	// LineBytes*Assoc.
+	SizeBytes int64
+	// Assoc is the number of ways per set (1 = direct mapped).
+	Assoc int
+	// LineBytes is the line size; all caches in the study use 64.
+	LineBytes int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	return int(c.SizeBytes) / (c.LineBytes * c.Assoc)
+}
+
+// Validate reports a descriptive error for impossible configurations.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d is not a positive power of two", c.Name, c.LineBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache %s: associativity %d must be positive", c.Name, c.Assoc)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%int64(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache %s: size %d is not a multiple of line*assoc = %d",
+			c.Name, c.SizeBytes, c.LineBytes*c.Assoc)
+	}
+	if c.Sets() < 1 {
+		return fmt.Errorf("cache %s: zero sets", c.Name)
+	}
+	return nil
+}
+
+// Cache is a set-associative tag store with per-set LRU replacement.
+type Cache struct {
+	cfg       Config
+	nsets     uint64
+	setMask   uint64 // nsets-1 when nsets is a power of two
+	pow2      bool
+	lineShift uint
+
+	// Flat way arrays, indexed by set*assoc + way.
+	tags   []uint64
+	states []State
+	stamps []uint64
+
+	clock uint64 // LRU timestamp source
+
+	// Stats counts accesses and hits; misses are derived.
+	Accesses uint64
+	Hits     uint64
+}
+
+// New builds a cache from cfg, panicking on invalid configuration (cache
+// geometry is fixed by the experiment definitions, so an invalid one is a
+// programming error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := uint64(cfg.Sets())
+	c := &Cache{
+		cfg:    cfg,
+		nsets:  nsets,
+		pow2:   nsets&(nsets-1) == 0,
+		tags:   make([]uint64, nsets*uint64(cfg.Assoc)),
+		states: make([]State, nsets*uint64(cfg.Assoc)),
+		stamps: make([]uint64, nsets*uint64(cfg.Assoc)),
+	}
+	c.setMask = nsets - 1
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setOf(line uint64) uint64 {
+	idx := line >> c.lineShift
+	if c.pow2 {
+		return idx & c.setMask
+	}
+	return idx % c.nsets
+}
+
+// find returns the way index holding line within set, or -1.
+func (c *Cache) find(set, line uint64) int {
+	base := set * uint64(c.cfg.Assoc)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.states[base+uint64(w)] != Invalid && c.tags[base+uint64(w)] == line {
+			return int(base) + w
+		}
+	}
+	return -1
+}
+
+// Probe returns the state of line without updating LRU or statistics.
+func (c *Cache) Probe(line uint64) State {
+	if i := c.find(c.setOf(line), line); i >= 0 {
+		return c.states[i]
+	}
+	return Invalid
+}
+
+// Access looks up line, counts the access, and refreshes LRU on a hit.
+// It returns the line's state; Invalid means miss.
+func (c *Cache) Access(line uint64) State {
+	c.Accesses++
+	if i := c.find(c.setOf(line), line); i >= 0 {
+		c.clock++
+		c.stamps[i] = c.clock
+		c.Hits++
+		return c.states[i]
+	}
+	return Invalid
+}
+
+// Insert places line with the given state, evicting the LRU way if the set is
+// full. It returns the victim line and its prior state; vstate == Invalid
+// means no eviction happened. Inserting a line that is already present just
+// updates its state.
+func (c *Cache) Insert(line uint64, st State) (victim uint64, vstate State) {
+	if st == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	set := c.setOf(line)
+	if i := c.find(set, line); i >= 0 {
+		c.states[i] = st
+		c.clock++
+		c.stamps[i] = c.clock
+		return 0, Invalid
+	}
+	base := set * uint64(c.cfg.Assoc)
+	victimIdx := base
+	oldest := ^uint64(0)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + uint64(w)
+		if c.states[i] == Invalid {
+			victimIdx = i
+			oldest = 0
+			break
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victimIdx = i
+		}
+	}
+	victim, vstate = c.tags[victimIdx], c.states[victimIdx]
+	c.tags[victimIdx] = line
+	c.states[victimIdx] = st
+	c.clock++
+	c.stamps[victimIdx] = c.clock
+	if vstate == Invalid {
+		return 0, Invalid
+	}
+	return victim, vstate
+}
+
+// SetState changes the state of a resident line, returning false if the line
+// is not present.
+func (c *Cache) SetState(line uint64, st State) bool {
+	if st == Invalid {
+		panic("cache: SetState to Invalid; use Invalidate")
+	}
+	if i := c.find(c.setOf(line), line); i >= 0 {
+		c.states[i] = st
+		return true
+	}
+	return false
+}
+
+// Invalidate removes line and returns its prior state (Invalid if absent).
+func (c *Cache) Invalidate(line uint64) State {
+	if i := c.find(c.setOf(line), line); i >= 0 {
+		st := c.states[i]
+		c.states[i] = Invalid
+		return st
+	}
+	return Invalid
+}
+
+// Misses returns Accesses - Hits.
+func (c *Cache) Misses() uint64 { return c.Accesses - c.Hits }
+
+// ResetStats zeroes the access counters without disturbing cache contents;
+// the experiment harness calls this at the end of warmup.
+func (c *Cache) ResetStats() {
+	c.Accesses = 0
+	c.Hits = 0
+}
+
+// ForEachResident calls fn for every valid line. Used by back-invalidation
+// (inclusion) checks in tests and by the functional engine's integrity
+// checks; it is not on the hot path.
+func (c *Cache) ForEachResident(fn func(line uint64, st State)) {
+	for i := range c.tags {
+		if c.states[i] != Invalid {
+			fn(c.tags[i], c.states[i])
+		}
+	}
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.states {
+		if c.states[i] != Invalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,262 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oltpsim/internal/sim"
+)
+
+func mk(t *testing.T, size int64, assoc int) *Cache {
+	if t != nil {
+		t.Helper()
+	}
+	return New(Config{Name: "T", SizeBytes: size, Assoc: assoc, LineBytes: 64})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "a", SizeBytes: 1024, Assoc: 1, LineBytes: 60},  // non-pow2 line
+		{Name: "b", SizeBytes: 1000, Assoc: 1, LineBytes: 64},  // size not multiple
+		{Name: "c", SizeBytes: 1024, Assoc: 0, LineBytes: 64},  // zero assoc
+		{Name: "d", SizeBytes: -64, Assoc: 1, LineBytes: 64},   // negative
+		{Name: "e", SizeBytes: 4096, Assoc: -2, LineBytes: 64}, // negative assoc
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated but should not", c)
+		}
+	}
+	good := Config{Name: "g", SizeBytes: 2 << 20, Assoc: 8, LineBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	if good.Sets() != 4096 {
+		t.Errorf("Sets() = %d, want 4096", good.Sets())
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := mk(t, 4096, 2) // 32 sets
+	if st := c.Access(0); st != Invalid {
+		t.Fatal("empty cache hit")
+	}
+	c.Insert(0, Shared)
+	if st := c.Access(0); st != Shared {
+		t.Fatalf("expected Shared hit, got %v", st)
+	}
+	if c.Accesses != 2 || c.Hits != 1 || c.Misses() != 1 {
+		t.Fatalf("stats wrong: %d accesses %d hits", c.Accesses, c.Hits)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := mk(t, 2*64*4, 4) // 2 sets, 4 ways; lines 0,128,256,... map to set 0
+	lineInSet0 := func(i int) uint64 { return uint64(i) * 128 }
+	for i := 0; i < 4; i++ {
+		c.Insert(lineInSet0(i), Shared)
+	}
+	// Touch line 0 so line 1 is LRU.
+	c.Access(lineInSet0(0))
+	victim, vst := c.Insert(lineInSet0(4), Shared)
+	if vst == Invalid || victim != lineInSet0(1) {
+		t.Fatalf("expected victim %#x, got %#x (%v)", lineInSet0(1), victim, vst)
+	}
+}
+
+func TestInsertExisting(t *testing.T) {
+	c := mk(t, 4096, 2)
+	c.Insert(64, Shared)
+	victim, vst := c.Insert(64, Modified)
+	if vst != Invalid || victim != 0 {
+		t.Fatal("re-insert evicted something")
+	}
+	if c.Probe(64) != Modified {
+		t.Fatal("re-insert did not update state")
+	}
+	if c.Occupancy() != 1 {
+		t.Fatalf("occupancy %d after re-insert", c.Occupancy())
+	}
+}
+
+func TestInvalidateAndSetState(t *testing.T) {
+	c := mk(t, 4096, 2)
+	c.Insert(128, Exclusive)
+	if !c.SetState(128, Modified) {
+		t.Fatal("SetState failed on resident line")
+	}
+	if st := c.Invalidate(128); st != Modified {
+		t.Fatalf("Invalidate returned %v", st)
+	}
+	if c.Probe(128) != Invalid {
+		t.Fatal("line still present after Invalidate")
+	}
+	if c.SetState(128, Shared) {
+		t.Fatal("SetState succeeded on absent line")
+	}
+	if st := c.Invalidate(128); st != Invalid {
+		t.Fatal("double Invalidate returned non-Invalid")
+	}
+}
+
+func TestSetStatePanicsOnInvalid(t *testing.T) {
+	c := mk(t, 4096, 2)
+	c.Insert(0, Shared)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetState(Invalid) did not panic")
+		}
+	}()
+	c.SetState(0, Invalid)
+}
+
+func TestInsertPanicsOnInvalid(t *testing.T) {
+	c := mk(t, 4096, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert(Invalid) did not panic")
+		}
+	}()
+	c.Insert(0, Invalid)
+}
+
+func TestNonPowerOfTwoSets(t *testing.T) {
+	// 1.25 MB 4-way: 5120 sets, not a power of two (paper Figure 12 uses
+	// this size for the RAC-tags-vs-L2-capacity comparison).
+	c := mk(t, 5*256*1024, 4)
+	if c.Config().Sets() != 5120 {
+		t.Fatalf("sets = %d", c.Config().Sets())
+	}
+	// Insert and retrieve lines far apart.
+	for i := 0; i < 10_000; i++ {
+		line := uint64(i) * 64 * 7919
+		c.Insert(line, Shared)
+		if c.Probe(line) != Shared {
+			t.Fatalf("line %#x lost immediately after insert", line)
+		}
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := mk(t, 64*64, 1) // 64 sets, direct mapped
+	a := uint64(0)
+	b := uint64(64 * 64) // same set as a
+	c.Insert(a, Shared)
+	victim, vst := c.Insert(b, Shared)
+	if vst == Invalid || victim != a {
+		t.Fatal("direct-mapped insert did not evict the conflicting line")
+	}
+	// 4-way tolerates it.
+	c4 := mk(t, 64*64, 4)
+	c4.Insert(a, Shared)
+	if _, vst := c4.Insert(b, Shared); vst != Invalid {
+		t.Fatal("4-way evicted despite free ways")
+	}
+}
+
+func TestResetStatsPreservesContents(t *testing.T) {
+	c := mk(t, 4096, 2)
+	c.Insert(0, Modified)
+	c.Access(0)
+	c.ResetStats()
+	if c.Accesses != 0 || c.Hits != 0 {
+		t.Fatal("stats not reset")
+	}
+	if c.Probe(0) != Modified {
+		t.Fatal("contents lost on stats reset")
+	}
+}
+
+func TestForEachResident(t *testing.T) {
+	c := mk(t, 4096, 2)
+	want := map[uint64]State{64: Shared, 128: Modified, 4096 + 64: Exclusive}
+	for l, s := range want {
+		c.Insert(l, s)
+	}
+	got := map[uint64]State{}
+	c.ForEachResident(func(line uint64, st State) { got[line] = st })
+	if len(got) != len(want) {
+		t.Fatalf("resident count %d, want %d", len(got), len(want))
+	}
+	for l, s := range want {
+		if got[l] != s {
+			t.Errorf("line %#x state %v, want %v", l, got[l], s)
+		}
+	}
+}
+
+// TestOccupancyNeverExceedsCapacity is a property test: any access sequence
+// keeps occupancy within capacity and every resident line is findable.
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		c := mk(nil, 64*64*2, 2) // 128 lines capacity
+		for i := 0; i < 2000; i++ {
+			line := uint64(r.Intn(500)) * 64
+			if c.Access(line) == Invalid {
+				c.Insert(line, State(1+r.Intn(3)))
+			}
+		}
+		if c.Occupancy() > 128 {
+			return false
+		}
+		ok := true
+		c.ForEachResident(func(line uint64, st State) {
+			if c.Probe(line) != st {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLRUAgainstReference checks the set-associative LRU against a simple
+// reference model for random access sequences.
+func TestLRUAgainstReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		const sets, ways = 4, 2
+		c := mk(nil, sets*ways*64, ways)
+		// Reference model: per set, slice ordered most..least recent.
+		ref := make([][]uint64, sets)
+		for i := 0; i < 1000; i++ {
+			line := uint64(r.Intn(32)) * 64
+			set := int(line / 64 % sets)
+			hitRef := false
+			for j, l := range ref[set] {
+				if l == line {
+					ref[set] = append([]uint64{line}, append(ref[set][:j], ref[set][j+1:]...)...)
+					hitRef = true
+					break
+				}
+			}
+			hit := c.Access(line) != Invalid
+			if hit != hitRef {
+				return false
+			}
+			if !hit {
+				c.Insert(line, Shared)
+				ref[set] = append([]uint64{line}, ref[set]...)
+				if len(ref[set]) > ways {
+					ref[set] = ref[set][:ways]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Fatal("state strings wrong")
+	}
+	if State(9).String() != "?" {
+		t.Fatal("unknown state string wrong")
+	}
+}

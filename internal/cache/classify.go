@@ -1,0 +1,150 @@
+package cache
+
+// MissClass distinguishes the three textbook miss causes. The paper's key
+// cache observation — that most misses removed by an 8 MB direct-mapped
+// off-chip cache are conflict misses, which a 2 MB 4/8-way on-chip cache also
+// removes — is established with exactly this classification.
+type MissClass uint8
+
+const (
+	// Cold: first reference to the line ever.
+	Cold MissClass = iota
+	// Capacity: the line was referenced before and would also miss in a
+	// fully-associative cache of the same capacity with LRU replacement.
+	Capacity
+	// Conflict: the line would hit in the fully-associative cache; only the
+	// set-index mapping of the real cache evicted it early.
+	Conflict
+)
+
+// String implements fmt.Stringer.
+func (m MissClass) String() string {
+	switch m {
+	case Cold:
+		return "cold"
+	case Capacity:
+		return "capacity"
+	case Conflict:
+		return "conflict"
+	default:
+		return "?"
+	}
+}
+
+// Classifier shadows a real cache with (a) the set of all lines ever seen and
+// (b) a fully-associative LRU cache of identical capacity, and classifies
+// each miss of the real cache. It is optional and costs memory proportional
+// to the touched footprint, so experiments enable it only when the
+// classification itself is the result being measured.
+type Classifier struct {
+	seen map[uint64]struct{}
+	fa   *faLRU
+	// Counts indexed by MissClass.
+	Counts [3]uint64
+}
+
+// NewClassifier builds a classifier for a cache of capacityLines lines.
+func NewClassifier(capacityLines int) *Classifier {
+	return &Classifier{
+		seen: make(map[uint64]struct{}, capacityLines*2),
+		fa:   newFALRU(capacityLines),
+	}
+}
+
+// Observe must be called for every access to the shadowed cache, with hit
+// reporting the real cache's outcome. On a miss it returns the class; on a
+// hit the returned class is meaningless and ok is false.
+func (cl *Classifier) Observe(line uint64, hit bool) (MissClass, bool) {
+	_, everSeen := cl.seen[line]
+	if !everSeen {
+		cl.seen[line] = struct{}{}
+	}
+	faHit := cl.fa.access(line)
+	if hit {
+		return 0, false
+	}
+	var class MissClass
+	switch {
+	case !everSeen:
+		class = Cold
+	case faHit:
+		class = Conflict
+	default:
+		class = Capacity
+	}
+	cl.Counts[class]++
+	return class, true
+}
+
+// Total returns the number of classified misses.
+func (cl *Classifier) Total() uint64 {
+	return cl.Counts[Cold] + cl.Counts[Capacity] + cl.Counts[Conflict]
+}
+
+// faLRU is a fully-associative LRU cache over line addresses, implemented as
+// a hash map plus an intrusive doubly-linked list.
+type faLRU struct {
+	cap   int
+	nodes map[uint64]*faNode
+	head  *faNode // most recently used
+	tail  *faNode // least recently used
+}
+
+type faNode struct {
+	line       uint64
+	prev, next *faNode
+}
+
+func newFALRU(capacity int) *faLRU {
+	if capacity <= 0 {
+		panic("cache: fully-associative shadow with non-positive capacity")
+	}
+	return &faLRU{cap: capacity, nodes: make(map[uint64]*faNode, capacity+1)}
+}
+
+// access touches line and reports whether it was resident.
+func (f *faLRU) access(line uint64) bool {
+	if n, ok := f.nodes[line]; ok {
+		f.unlink(n)
+		f.pushFront(n)
+		return true
+	}
+	n := &faNode{line: line}
+	f.nodes[line] = n
+	f.pushFront(n)
+	if len(f.nodes) > f.cap {
+		lru := f.tail
+		f.unlink(lru)
+		delete(f.nodes, lru.line)
+	}
+	return false
+}
+
+func (f *faLRU) pushFront(n *faNode) {
+	n.prev = nil
+	n.next = f.head
+	if f.head != nil {
+		f.head.prev = n
+	}
+	f.head = n
+	if f.tail == nil {
+		f.tail = n
+	}
+}
+
+func (f *faLRU) unlink(n *faNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		f.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		f.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// len reports residency, for tests.
+func (f *faLRU) len() int { return len(f.nodes) }

@@ -1,0 +1,87 @@
+// Package cli holds the flag-parsing helpers shared by the command-line
+// tools, kept out of package main so they are testable.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"oltpsim/internal/core"
+)
+
+// ParseSize parses cache sizes like "8M", "1.25M", "512K", or plain bytes.
+func ParseSize(s string) (int64, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult = core.MB
+		s = strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult = core.KB
+		s = strings.TrimSuffix(s, "K")
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// MachineSpec is the command-line description of a machine.
+type MachineSpec struct {
+	Procs   int
+	Level   string // cons|base|l2|l2mc|full
+	L2      string // e.g. "8M"
+	Assoc   int
+	DRAM    bool
+	OOO     bool
+	RACSize string // empty = no RAC
+	Repl    bool
+	Cores   int // cores per chip; 0/1 = paper configuration
+}
+
+// Build resolves a MachineSpec into a core.Config.
+func Build(spec MachineSpec) (core.Config, error) {
+	size, err := ParseSize(spec.L2)
+	if err != nil {
+		return core.Config{}, err
+	}
+	var cfg core.Config
+	switch strings.ToLower(spec.Level) {
+	case "cons":
+		cfg = core.ConservativeConfig(spec.Procs)
+		cfg.L2SizeBytes, cfg.L2Assoc = size, spec.Assoc
+	case "base":
+		cfg = core.BaseConfig(spec.Procs, size, spec.Assoc)
+	case "l2":
+		tech := core.OnChipSRAM
+		if spec.DRAM {
+			tech = core.OnChipDRAM
+		}
+		cfg = core.IntegratedL2Config(spec.Procs, size, spec.Assoc, tech)
+	case "l2mc":
+		cfg = core.L2MCConfig(spec.Procs, size, spec.Assoc)
+	case "full":
+		cfg = core.FullConfig(spec.Procs, size, spec.Assoc)
+	default:
+		return core.Config{}, fmt.Errorf("unknown level %q", spec.Level)
+	}
+	if spec.OOO {
+		cfg.OutOfOrder = true
+		cfg.OOO = core.DefaultOOO()
+	}
+	if spec.RACSize != "" {
+		rs, err := ParseSize(spec.RACSize)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.RAC = &core.RACConfig{SizeBytes: rs, Assoc: 8}
+	}
+	cfg.CodeReplication = spec.Repl
+	cfg.CoresPerChip = spec.Cores
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+// CrossingModel is the constructive counterpart of the Figure 3 table: it
+// derives the end-to-end latencies from per-component costs, making explicit
+// *why* each integration step changes each latency — chip-boundary crossings
+// removed, system-bus hops avoided, external set selection eliminated, the
+// directory moving between main memory and a dedicated store. The defaults
+// reproduce Figure 3 exactly (pinned by tests); the ablation benchmarks
+// perturb individual components to show their leverage, which the published
+// table alone cannot.
+type CrossingModel struct {
+	// TagLookup is the on-chip L2 tag access (tags are on-chip in every
+	// configuration, as in contemporary high-end parts).
+	TagLookup uint32
+	// ChipCrossing is one traversal of a chip boundary (pad, driver,
+	// synchronization).
+	ChipCrossing uint32
+	// ExtSRAM is the external wave-pipelined L2 data array access.
+	ExtSRAM uint32
+	// ExtSetSelect is the extra external multiplexing a set-associative
+	// off-chip cache pays after tag resolution (why off-chip caches stay
+	// direct-mapped: 25 -> 30 cycles).
+	ExtSetSelect uint32
+	// IntSRAM and IntDRAM are the integrated array access times (15 vs. 25
+	// cycle hits once the 5-cycle tag lookup is added).
+	IntSRAM uint32
+	IntDRAM uint32
+	// MemCore is the irreducible memory access: controller scheduling, RDRAM
+	// bank access, transfer (the 75 ns an integrated MC achieves).
+	MemCore uint32
+	// ExtMCPenalty is what an off-chip memory controller adds: two extra
+	// chip crossings plus the processor-bus transaction (100 - 75).
+	ExtMCPenalty uint32
+	// LinkHop is one network traversal between adjacent nodes
+	// (serialization onto a >4 GB/s link, flight, router).
+	LinkHop uint32
+	// CCRoundTrip is the coherence-controller processing on a clean remote
+	// access (requester-side plus home-side).
+	CCRoundTrip uint32
+	// CCSplitPenalty is the Section 4 anomaly: an external CC reaching an
+	// integrated MC's memory must cross the system bus both ways, making
+	// 2-hop accesses *slower* than in the fully external arrangement
+	// (225 vs. 175).
+	CCSplitPenalty uint32
+	// DirInMemory is the incremental cost of reading directory state held
+	// in main-memory ECC bits alongside the data fetch.
+	DirInMemory uint32
+	// DirDedicatedSRAM is the faster lookup of the dedicated directory
+	// store the split (L2+MC) design is forced to add (paper Figure 9).
+	DirDedicatedSRAM uint32
+	// OwnerProbe is the cache intervention at the dirty owner.
+	OwnerProbe uint32
+	// ExtCCDirtyPenalty is the extra chip-boundary work of external
+	// coherence controllers on the 3-hop path (home and owner visits).
+	ExtCCDirtyPenalty uint32
+	// CCSplitDirtyPenalty is the split design's extra bus work on the 3-hop
+	// path (the external CC moves the sharing writeback over the system
+	// bus).
+	CCSplitDirtyPenalty uint32
+	// ConservativeSlack is the extra latency of the less-optimized
+	// Conservative Base memory system.
+	ConservativeSlack uint32
+}
+
+// DefaultCrossingModel reproduces Figure 3 exactly.
+func DefaultCrossingModel() CrossingModel {
+	return CrossingModel{
+		TagLookup:           5,
+		ChipCrossing:        5,
+		ExtSRAM:             10,
+		ExtSetSelect:        5,
+		IntSRAM:             10,
+		IntDRAM:             20,
+		MemCore:             75,
+		ExtMCPenalty:        25,
+		LinkHop:             25,
+		CCRoundTrip:         25,
+		CCSplitPenalty:      75,
+		DirInMemory:         25,
+		DirDedicatedSRAM:    10,
+		OwnerProbe:          75,
+		ExtCCDirtyPenalty:   50,
+		CCSplitDirtyPenalty: 40,
+		ConservativeSlack:   50,
+	}
+}
+
+// Derive computes the latency table for a configuration from component
+// costs.
+func (m CrossingModel) Derive(level IntegrationLevel, l2Assoc int, tech L2Tech) LatencyTable {
+	var t LatencyTable
+	mcIntegrated := level >= IntegratedL2MC
+	ccIntegrated := level >= FullIntegration
+
+	// L2 hit path.
+	switch {
+	case level <= Base:
+		t.L2Hit = m.TagLookup + 2*m.ChipCrossing + m.ExtSRAM
+		if l2Assoc > 1 {
+			t.L2Hit += m.ExtSetSelect
+		}
+	case tech == OnChipDRAM:
+		t.L2Hit = m.TagLookup + m.IntDRAM
+	default:
+		t.L2Hit = m.TagLookup + m.IntSRAM
+	}
+
+	// Local memory.
+	t.Local = m.MemCore
+	if !mcIntegrated {
+		t.Local += m.ExtMCPenalty
+	}
+	if level == ConservativeBase {
+		t.Local += m.ConservativeSlack
+	}
+
+	// Remote clean (2-hop): home fetch plus the network round trip and
+	// coherence processing.
+	t.Remote = t.Local + 2*m.LinkHop + m.CCRoundTrip
+	if level == IntegratedL2MC {
+		t.Remote += m.CCSplitPenalty
+	}
+
+	// Remote dirty (3-hop): request -> home (directory lookup) -> owner
+	// (probe) -> requester.
+	t.RemoteDirty = 3*m.LinkHop + m.OwnerProbe + m.CCRoundTrip
+	switch {
+	case ccIntegrated:
+		t.RemoteDirty += m.DirInMemory
+	case mcIntegrated:
+		// Split design: dedicated SRAM directory, but extra external-CC and
+		// bus work.
+		t.RemoteDirty += m.DirDedicatedSRAM + m.ExtCCDirtyPenalty + m.CCSplitDirtyPenalty
+	default:
+		// Fully external: in-memory directory behind the external MC, plus
+		// external-CC work.
+		t.RemoteDirty += m.DirInMemory + m.ExtMCPenalty + m.ExtCCDirtyPenalty
+	}
+	if level == ConservativeBase {
+		t.RemoteDirty += m.ConservativeSlack
+	}
+
+	t.RACHit = t.Local
+	t.RemoteDirtyRAC = t.RemoteDirty + 2*m.LinkHop
+	return t
+}

@@ -1,0 +1,668 @@
+package core
+
+import (
+	"fmt"
+
+	"oltpsim/internal/cache"
+	"oltpsim/internal/coherence"
+	"oltpsim/internal/cpu"
+	"oltpsim/internal/kernel"
+	"oltpsim/internal/mem"
+	"oltpsim/internal/memref"
+	"oltpsim/internal/noc"
+	"oltpsim/internal/rac"
+	"oltpsim/internal/stats"
+)
+
+// Workload is what the system times: a per-CPU reference source (the OLTP
+// harness with its scheduler) plus the page-placement and progress
+// information the memory system needs.
+type Workload interface {
+	// Next produces the next reference for cpu at local time now; see
+	// kernel.Status for the contract.
+	Next(cpu int, now uint64) (r memref.Ref, st kernel.Status, wake uint64)
+	// HomeOf maps a line address to its home node (chip).
+	HomeOf(line uint64) int
+	// Committed returns the global count of committed transactions.
+	Committed() uint64
+}
+
+// coreCtx is one processor core: private L1s and a timing model. With
+// CoresPerChip == 1 (every paper configuration) a chip has exactly one.
+type coreCtx struct {
+	cpuID int
+	l1i   *cache.Cache
+	l1d   *cache.Cache
+	model cpu.Model
+	done  bool
+}
+
+// node is one processor chip: cores sharing an L2 (and victim buffer/RAC),
+// which is also the unit of directory sharing. Multiple cores per chip is
+// the CMP extension the paper's conclusion points to ("the next logical
+// step seems to be to tolerate the remaining latencies by exploiting the
+// inherent thread-level parallelism in OLTP through techniques such as chip
+// multiprocessing").
+type node struct {
+	id    int
+	cores []*coreCtx
+	l2    *cache.Cache
+	vb    *cache.VictimBuffer
+	rc    *rac.RAC
+	miss  stats.MissTable
+
+	stores   uint64
+	loads    uint64
+	ifetches uint64
+	racHitI  uint64
+	racHitD  uint64
+}
+
+// System is the assembled machine: chips with cache hierarchies, a
+// directory protocol, the latency model implied by the integration level,
+// and (optionally) contention models for the memory controllers and
+// network.
+type System struct {
+	cfg   Config
+	lat   LatencyTable
+	w     Workload
+	chips int
+	cores int // per chip
+
+	nodes []*node
+	dir   *coherence.Directory
+
+	// Contention layer (nil unless cfg.Contention).
+	mcs []*mem.Controller
+	net *noc.Network
+
+	classifier *cache.Classifier // only when cfg.Classify
+
+	writeInvalOps uint64
+	steps         uint64
+}
+
+// NewSystem assembles a machine around the workload.
+func NewSystem(cfg Config, w Workload) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cores := cfg.CoresPerChip
+	if cores == 0 {
+		cores = 1
+	}
+	chips := cfg.Processors / cores
+	s := &System{cfg: cfg, lat: cfg.Latencies(), w: w, chips: chips, cores: cores}
+	s.dir = coherence.New(chips, w.HomeOf, (*peers)(s))
+	s.dir.Migratory = !cfg.NoMigratory
+	for i := 0; i < chips; i++ {
+		n := &node{
+			id: i,
+			l2: cache.New(cfg.L2CacheConfig()),
+			vb: cache.NewVictimBuffer(cfg.VictimBuffers),
+		}
+		if cfg.RAC != nil {
+			if chips == 1 {
+				return nil, fmt.Errorf("core: a RAC caches remote lines and needs a multiprocessor")
+			}
+			n.rc = rac.New(cfg.RAC.SizeBytes, cfg.RAC.Assoc)
+		}
+		for c := 0; c < cores; c++ {
+			cc := &coreCtx{
+				cpuID: i*cores + c,
+				l1i:   cache.New(cfg.L1CacheConfig("L1I")),
+				l1d:   cache.New(cfg.L1CacheConfig("L1D")),
+			}
+			if cfg.OutOfOrder {
+				cc.model = cpu.NewOOO(cpu.OOOConfig{
+					Width:          cfg.OOO.Width,
+					Window:         cfg.OOO.Window,
+					MemPorts:       cfg.OOO.MemPorts,
+					EffectiveWidth: cfg.OOO.EffectiveWidth,
+				})
+			} else {
+				cc.model = cpu.NewInOrder()
+			}
+			n.cores = append(n.cores, cc)
+		}
+		s.nodes = append(s.nodes, n)
+	}
+	if cfg.Contention {
+		s.net = noc.New(noc.DefaultConfig(chips))
+		for i := 0; i < chips; i++ {
+			s.mcs = append(s.mcs, mem.NewController(mem.DefaultConfig()))
+		}
+	}
+	if cfg.Classify {
+		s.classifier = cache.NewClassifier(int(cfg.L2SizeBytes / 64))
+	}
+	return s, nil
+}
+
+// MustNewSystem panics on configuration errors.
+func MustNewSystem(cfg Config, w Workload) *System {
+	s, err := NewSystem(cfg, w)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Directory exposes the coherence directory (tests, invariant checks).
+func (s *System) Directory() *coherence.Directory { return s.dir }
+
+// chipOf maps a CPU index to its chip.
+func (s *System) chipOf(cpuID int) *node { return s.nodes[cpuID/s.cores] }
+
+// L2 returns the L2 of the chip hosting cpuID.
+func (s *System) L2(cpuID int) *cache.Cache { return s.chipOf(cpuID).l2 }
+
+// RACOf returns the RAC of the chip hosting cpuID (nil without one).
+func (s *System) RACOf(cpuID int) *rac.RAC { return s.chipOf(cpuID).rc }
+
+// Model returns cpuID's timing model.
+func (s *System) Model(cpuID int) cpu.Model {
+	return s.chipOf(cpuID).cores[cpuID%s.cores].model
+}
+
+// Classifier returns the miss classifier (nil unless cfg.Classify).
+func (s *System) Classifier() *cache.Classifier { return s.classifier }
+
+// Latency returns the resolved latency table.
+func (s *System) Latency() LatencyTable { return s.lat }
+
+// Chips returns the chip count (== Processors unless CoresPerChip > 1).
+func (s *System) Chips() int { return s.chips }
+
+// Step advances the earliest CPU by one reference. It returns false when
+// every CPU's workload is exhausted.
+func (s *System) Step() bool {
+	var n *node
+	var co *coreCtx
+	for _, chip := range s.nodes {
+		for _, cand := range chip.cores {
+			if cand.done {
+				continue
+			}
+			if co == nil || cand.model.Now() < co.model.Now() {
+				n, co = chip, cand
+			}
+		}
+	}
+	if co == nil {
+		return false
+	}
+	now := co.model.Now()
+	r, st, wake := s.w.Next(co.cpuID, now)
+	switch st {
+	case kernel.StatusDone:
+		co.done = true
+		return true
+	case kernel.StatusIdle:
+		co.model.AdvanceTo(wake)
+		return true
+	}
+	lat, cat := s.access(n, co, r)
+	co.model.Account(r, lat, cat)
+	s.steps++
+	return true
+}
+
+// RunUntil steps the system until the workload has committed target
+// transactions (or all CPUs are done). It panics if the simulation exceeds
+// a generous step bound, which would indicate a scheduling deadlock.
+func (s *System) RunUntil(target uint64) {
+	const checkEvery = 1024
+	var guard uint64
+	for s.w.Committed() < target {
+		for i := 0; i < checkEvery; i++ {
+			if !s.Step() {
+				return
+			}
+		}
+		guard += checkEvery
+		if guard > 50_000_000_000 {
+			panic("core: simulation exceeded step bound; scheduler deadlock?")
+		}
+	}
+}
+
+// ResetStats zeroes every statistic while preserving architectural state
+// (cache contents, directory, workload position) — called at the end of
+// warmup.
+func (s *System) ResetStats() {
+	for _, n := range s.nodes {
+		for _, co := range n.cores {
+			co.l1i.ResetStats()
+			co.l1d.ResetStats()
+			co.model.ResetStats()
+		}
+		n.l2.ResetStats()
+		if n.rc != nil {
+			n.rc.ResetStats()
+		}
+		n.miss = stats.MissTable{}
+		n.stores, n.loads, n.ifetches = 0, 0, 0
+		n.racHitI, n.racHitD = 0, 0
+	}
+	s.dir.ResetStats()
+	s.writeInvalOps = 0
+	if s.net != nil {
+		s.net.ResetStats()
+	}
+	for _, mc := range s.mcs {
+		mc.ResetStats()
+	}
+}
+
+// Collect summarizes the stats accumulated since the last ResetStats.
+func (s *System) Collect(name string, txns uint64) stats.RunResult {
+	res := stats.RunResult{Name: name, Txns: txns}
+	var l1iAcc, l1iMiss, l1dAcc, l1dMiss uint64
+	for _, n := range s.nodes {
+		for _, co := range n.cores {
+			res.Breakdown.Add(co.model.Breakdown())
+			l1iAcc += co.l1i.Accesses
+			l1iMiss += co.l1i.Misses()
+			l1dAcc += co.l1d.Accesses
+			l1dMiss += co.l1d.Misses()
+		}
+		res.Miss.Add(&n.miss)
+		res.Stores += n.stores
+		res.L2Accesses += n.l2.Accesses
+		if n.rc != nil {
+			res.RACProbes += n.rc.Stats.Probes
+			res.RACHits += n.rc.Stats.Hits
+		}
+	}
+	if l1iAcc > 0 {
+		res.L1IMissRate = float64(l1iMiss) / float64(l1iAcc)
+	}
+	if l1dAcc > 0 {
+		res.L1DMissRate = float64(l1dMiss) / float64(l1dAcc)
+	}
+	res.Invalidations = s.dir.Stats.Invalidations
+	res.Writebacks = s.dir.Stats.Writebacks
+	res.WriteInvalOps = s.writeInvalOps
+	if nd := res.Breakdown.NonIdle(); nd > 0 {
+		res.KernelFraction = float64(res.Breakdown.Kernel) / float64(nd)
+		res.Utilization = float64(res.Breakdown.Busy) / float64(nd)
+	}
+	res.IdleCycles = res.Breakdown.Idle
+	return res
+}
+
+// Run executes the standard experiment protocol: warm up for warmupTxns
+// committed transactions, reset statistics, measure for measureTxns more,
+// and return the result.
+func (s *System) Run(warmupTxns, measureTxns uint64) stats.RunResult {
+	s.RunUntil(warmupTxns)
+	base := s.w.Committed()
+	s.ResetStats()
+	s.RunUntil(base + measureTxns)
+	return s.Collect(s.cfg.Name, s.w.Committed()-base)
+}
+
+// access walks one reference through the memory hierarchy, mutating cache
+// and directory state, and returns the stall latency and its category.
+func (s *System) access(n *node, co *coreCtx, r memref.Ref) (uint32, cpu.StallCat) {
+	line := r.Line()
+	ifetch := r.Kind == memref.IFetch
+	write := r.Kind == memref.Store
+
+	switch r.Kind {
+	case memref.IFetch:
+		n.ifetches++
+	case memref.Load:
+		n.loads++
+	case memref.Store:
+		n.stores++
+	}
+
+	// L1.
+	l1 := co.l1d
+	if ifetch {
+		l1 = co.l1i
+	}
+	st1 := l1.Access(line)
+	if st1 != cache.Invalid {
+		if !write {
+			return 0, cpu.CatNone
+		}
+		switch st1 {
+		case cache.Modified:
+			return 0, cpu.CatNone
+		case cache.Exclusive:
+			// Silent E->M upgrade; keep the L2 state in sync so evictions
+			// and interventions see the dirtiness.
+			l1.SetState(line, cache.Modified)
+			n.l2.SetState(line, cache.Modified)
+			return 0, cpu.CatNone
+		}
+		// Shared in L1: fall through to the L2 permission path.
+	}
+
+	// L2 (shared by the chip's cores).
+	st2 := n.l2.Access(line)
+	if s.classifier != nil {
+		s.classifier.Observe(line, st2 != cache.Invalid)
+	}
+	if st2 != cache.Invalid {
+		if !write {
+			st := l1FillState(st2, ifetch)
+			if s.siblingShare(n, co, line) {
+				// Another core on this chip holds a copy: fill read-only so
+				// the single-writer invariant holds within the chip.
+				st = cache.Shared
+			}
+			s.fillL1(n, l1, line, st)
+			return s.lat.L2Hit, cpu.CatL2Hit
+		}
+		if st2 == cache.Exclusive || st2 == cache.Modified {
+			s.siblingInvalidate(n, co, line)
+			n.l2.SetState(line, cache.Modified)
+			s.fillL1(n, l1, line, cache.Modified)
+			return s.lat.L2Hit, cpu.CatL2Hit
+		}
+		// Shared in L2: upgrade through the directory.
+		res := s.dir.Write(line, n.id)
+		if res.Invalidations > 0 {
+			s.writeInvalOps++
+		}
+		n.miss.CountUpgrade(res.Cat)
+		s.siblingInvalidate(n, co, line)
+		n.l2.SetState(line, cache.Modified)
+		s.fillL1(n, l1, line, cache.Modified)
+		return s.latFor(res.Cat), stallFor(res.Cat)
+	}
+
+	// L2 miss: victim buffer (if configured).
+	if vst, ok := n.vb.Take(line); ok {
+		if write && vst == cache.Shared {
+			res := s.dir.Write(line, n.id)
+			if res.Invalidations > 0 {
+				s.writeInvalOps++
+			}
+			n.miss.CountUpgrade(res.Cat)
+			s.insertL2(n, line, cache.Modified)
+			s.fillL1(n, l1, line, cache.Modified)
+			return s.latFor(res.Cat), stallFor(res.Cat)
+		}
+		if write {
+			vst = cache.Modified
+		}
+		s.insertL2(n, line, vst)
+		s.fillL1(n, l1, line, l1FillState(vst, ifetch))
+		return s.lat.L2Hit, cpu.CatL2Hit
+	}
+
+	// L2 miss: own RAC (remote lines only).
+	if n.rc != nil && s.dir.Home(line) != n.id {
+		if rst, ok := n.rc.Take(line); ok {
+			s.dir.MoveToL2(line, n.id)
+			if write && rst == cache.Shared {
+				// Data was local in the RAC but write permission still needs
+				// the directory round trip.
+				res := s.dir.Write(line, n.id)
+				if res.Invalidations > 0 {
+					s.writeInvalOps++
+				}
+				n.miss.CountUpgrade(res.Cat)
+				s.insertL2(n, line, cache.Modified)
+				s.fillL1(n, l1, line, cache.Modified)
+				return s.latFor(res.Cat), stallFor(res.Cat)
+			}
+			st := rst
+			if write {
+				st = cache.Modified
+			}
+			s.insertL2(n, line, st)
+			s.fillL1(n, l1, line, l1FillState(st, ifetch))
+			// A RAC hit is a miss satisfied locally (paper Fig. 11 counts
+			// these as local misses).
+			n.miss.Count(ifetch, coherence.CatLocal)
+			if ifetch {
+				n.miss.RACHitsI++
+				n.racHitI++
+			} else {
+				n.miss.RACHitsD++
+				n.racHitD++
+			}
+			return s.contended(s.lat.RACHit, n.id, n.id, line), cpu.CatLocal
+		}
+	}
+
+	// Directory transaction.
+	var res coherence.Result
+	if write {
+		res = s.dir.Write(line, n.id)
+		if res.Invalidations > 0 {
+			s.writeInvalOps++
+		}
+	} else {
+		res = s.dir.Read(line, n.id)
+	}
+	s.insertL2(n, line, res.Grant)
+	s.fillL1(n, l1, line, l1FillState(res.Grant, ifetch))
+	n.miss.Count(ifetch, res.Cat)
+	return s.contended(s.latFor(res.Cat), n.id, s.dir.Home(line), line), stallFor(res.Cat)
+}
+
+// siblingShare demotes other cores' exclusive L1 copies of line when a core
+// reads through the shared L2 (single-writer invariant within the chip) and
+// reports whether any sibling holds a copy.
+func (s *System) siblingShare(n *node, co *coreCtx, line uint64) bool {
+	if len(n.cores) == 1 {
+		return false
+	}
+	held := false
+	for _, other := range n.cores {
+		if other == co {
+			continue
+		}
+		switch other.l1d.Probe(line) {
+		case cache.Modified:
+			// Dirty data merges into the shared L2.
+			n.l2.SetState(line, cache.Modified)
+			other.l1d.SetState(line, cache.Shared)
+			held = true
+		case cache.Exclusive:
+			other.l1d.SetState(line, cache.Shared)
+			held = true
+		case cache.Shared:
+			held = true
+		}
+	}
+	return held
+}
+
+// siblingInvalidate removes other cores' L1 copies when a core writes.
+func (s *System) siblingInvalidate(n *node, co *coreCtx, line uint64) {
+	if len(n.cores) == 1 {
+		return
+	}
+	for _, other := range n.cores {
+		if other == co {
+			continue
+		}
+		other.l1d.Invalidate(line)
+		other.l1i.Invalidate(line)
+	}
+}
+
+// contended adds queuing delay from the contention layer, when enabled.
+func (s *System) contended(base uint32, requester, home int, line uint64) uint32 {
+	if s.mcs == nil {
+		return base
+	}
+	at := s.nodes[requester].cores[0].model.Now()
+	extra := s.mcs[home].Access(line, at)
+	if s.net != nil && requester != home {
+		_, q := s.net.Send(requester, home, at)
+		extra += q
+	}
+	return base + extra
+}
+
+// insertL2 installs line in chip n's L2 and unwinds the eviction cascade:
+// inclusion back-invalidation of every core's L1s, victim buffer staging,
+// RAC insertion for remote victims, and directory writebacks/hints.
+func (s *System) insertL2(n *node, line uint64, st cache.State) {
+	victim, vst := n.l2.Insert(line, st)
+	if vst == cache.Invalid {
+		return
+	}
+	// Inclusion: pull the line out of all the chip's L1s; a dirty L1 copy
+	// makes the victim dirty regardless of the L2 state.
+	for _, co := range n.cores {
+		if d := co.l1d.Invalidate(victim); d == cache.Modified {
+			vst = cache.Modified
+		}
+		co.l1i.Invalidate(victim)
+	}
+
+	// Victim buffer stage (identity pass-through when disabled).
+	victim, vst = n.vb.Put(victim, vst)
+	if vst == cache.Invalid {
+		return
+	}
+	s.retire(n, victim, vst)
+}
+
+// retire finally disposes of an evicted line: into the RAC if it is remote
+// and a RAC exists, otherwise back to its home directory.
+func (s *System) retire(n *node, line uint64, st cache.State) {
+	if n.rc != nil && s.dir.Home(line) != n.id {
+		rvict, rvst := n.rc.Insert(line, st)
+		s.dir.MoveToRAC(line, n.id)
+		if rvst != cache.Invalid {
+			s.dispose(n, rvict, rvst)
+		}
+		return
+	}
+	s.dispose(n, line, st)
+}
+
+// dispose notifies the directory that chip n dropped line.
+func (s *System) dispose(n *node, line uint64, st cache.State) {
+	if st == cache.Modified {
+		s.dir.WritebackDirty(line, n.id)
+		return
+	}
+	s.dir.EvictClean(line, n.id)
+}
+
+// fillL1 installs a line into one of n's L1s, folding a dirty L1 victim back
+// into the L2 (which must hold it, by inclusion).
+func (s *System) fillL1(n *node, l1 *cache.Cache, line uint64, st cache.State) {
+	victim, vst := l1.Insert(line, st)
+	if vst == cache.Modified {
+		// Write the dirty L1 victim through to the L2 copy.
+		if !n.l2.SetState(victim, cache.Modified) {
+			// The L2 lost the line without back-invalidating: inclusion bug.
+			panic(fmt.Sprintf("core: L1 dirty victim %#x absent from L2", victim))
+		}
+	}
+}
+
+// l1FillState maps the L2/grant state to the L1 fill state. Instruction
+// lines are always read-only.
+func l1FillState(st cache.State, ifetch bool) cache.State {
+	if ifetch {
+		return cache.Shared
+	}
+	switch st {
+	case cache.Modified:
+		return cache.Modified
+	case cache.Exclusive:
+		return cache.Exclusive
+	default:
+		return cache.Shared
+	}
+}
+
+// latFor maps a directory category to its latency.
+func (s *System) latFor(cat coherence.Category) uint32 {
+	switch cat {
+	case coherence.CatLocal:
+		return s.lat.Local
+	case coherence.CatRemoteClean:
+		return s.lat.Remote
+	case coherence.CatRemoteDirty:
+		return s.lat.RemoteDirty
+	case coherence.CatRemoteDirtyRAC:
+		return s.lat.RemoteDirtyRAC
+	default:
+		panic("core: unknown category")
+	}
+}
+
+// stallFor maps a directory category to its breakdown bucket.
+func stallFor(cat coherence.Category) cpu.StallCat {
+	switch cat {
+	case coherence.CatLocal:
+		return cpu.CatLocal
+	case coherence.CatRemoteClean:
+		return cpu.CatRemote
+	default:
+		return cpu.CatRemoteDirty
+	}
+}
+
+// peers adapts System to the directory's Peers interface (node == chip).
+type peers System
+
+// InvalidatePeer implements coherence.Peers.
+func (p *peers) InvalidatePeer(nodeID int, line uint64) bool {
+	n := p.nodes[nodeID]
+	dirty := false
+	for _, co := range n.cores {
+		if co.l1d.Invalidate(line) == cache.Modified {
+			dirty = true
+		}
+		co.l1i.Invalidate(line)
+	}
+	if n.l2.Invalidate(line) == cache.Modified {
+		dirty = true
+	}
+	if n.vb.Invalidate(line) == cache.Modified {
+		dirty = true
+	}
+	if n.rc != nil && n.rc.Invalidate(line) == cache.Modified {
+		dirty = true
+	}
+	return dirty
+}
+
+// DowngradePeer implements coherence.Peers.
+func (p *peers) DowngradePeer(nodeID int, line uint64) bool {
+	n := p.nodes[nodeID]
+	dirty := false
+	for _, co := range n.cores {
+		if st := co.l1d.Probe(line); st == cache.Modified || st == cache.Exclusive {
+			if st == cache.Modified {
+				dirty = true
+			}
+			co.l1d.SetState(line, cache.Shared)
+		}
+	}
+	if st := n.l2.Probe(line); st == cache.Modified || st == cache.Exclusive {
+		if st == cache.Modified {
+			dirty = true
+		}
+		n.l2.SetState(line, cache.Shared)
+	}
+	if st := n.vb.Downgrade(line); st == cache.Modified {
+		dirty = true
+	}
+	if n.rc != nil {
+		if st := n.rc.Probe(line); st == cache.Modified {
+			dirty = true
+		}
+		n.rc.Downgrade(line)
+	}
+	return dirty
+}

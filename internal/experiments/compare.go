@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oltpsim/internal/paper"
+)
+
+// ComparisonRow scores one bar of one metric against the published value.
+type ComparisonRow struct {
+	Figure   string
+	Bar      string
+	Metric   string // "exec" or "misses"
+	Paper    float64
+	Measured float64
+	// RelDev is (measured - paper) / paper.
+	RelDev float64
+	// WithinTolerance applies the provenance-based tolerance.
+	WithinTolerance bool
+}
+
+// Compare scores a regenerated figure against the paper's published values.
+// Bars the paper does not pin are skipped.
+func Compare(f *Figure) []ComparisonRow {
+	exp, ok := paper.Expectations()[f.ID]
+	if !ok {
+		return nil
+	}
+	var rows []ComparisonRow
+	add := func(metric string, want map[string]paper.Value, got func(int) float64) {
+		for i := range f.Bars {
+			v, ok := want[f.Bars[i].Name]
+			if !ok {
+				continue
+			}
+			measured := got(i)
+			dev := 0.0
+			if v.V != 0 {
+				dev = (measured - v.V) / v.V
+			}
+			rows = append(rows, ComparisonRow{
+				Figure:          f.ID,
+				Bar:             f.Bars[i].Name,
+				Metric:          metric,
+				Paper:           v.V,
+				Measured:        measured,
+				RelDev:          dev,
+				WithinTolerance: dev <= v.Tolerance() && dev >= -v.Tolerance(),
+			})
+		}
+	}
+	add("exec", exp.Exec, f.NormExec)
+	add("misses", exp.Misses, f.NormMisses)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Metric != rows[j].Metric {
+			return rows[i].Metric < rows[j].Metric
+		}
+		return false
+	})
+	return rows
+}
+
+// RenderComparison formats the comparison table, appending a score line.
+func RenderComparison(rows []ComparisonRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — paper vs. measured\n", rows[0].Figure)
+	fmt.Fprintf(&b, "%-14s %-7s %8s %9s %8s  %s\n", "config", "metric", "paper", "measured", "dev", "ok?")
+	within := 0
+	for _, r := range rows {
+		mark := "OK"
+		if !r.WithinTolerance {
+			mark = "DEVIATES"
+		} else {
+			within++
+		}
+		fmt.Fprintf(&b, "%-14s %-7s %8.1f %9.1f %+7.1f%%  %s\n",
+			r.Bar, r.Metric, r.Paper, r.Measured, 100*r.RelDev, mark)
+	}
+	fmt.Fprintf(&b, "score: %d/%d within tolerance\n", within, len(rows))
+	return b.String()
+}

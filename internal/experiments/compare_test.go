@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"oltpsim/internal/paper"
+	"oltpsim/internal/stats"
+)
+
+func mkBar(name string, cycles, misses uint64) stats.RunResult {
+	r := stats.RunResult{Name: name, Txns: 1}
+	r.Breakdown.Busy = cycles
+	for i := uint64(0); i < misses; i++ {
+		r.Miss.I[0]++
+	}
+	return r
+}
+
+func TestCompareScoresKnownFigure(t *testing.T) {
+	f := Figure{
+		ID: "Figure 10 (uni)",
+		Bars: []stats.RunResult{
+			mkBar("Base", 1000, 10),
+			mkBar("L2", 710, 5),    // paper says 70: +1.4% deviation
+			mkBar("L2+MC", 695, 5), // paper says 69
+		},
+	}
+	rows := Compare(&f)
+	if len(rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.WithinTolerance {
+			t.Fatalf("row %+v flagged as deviating", r)
+		}
+	}
+	out := RenderComparison(rows)
+	if !strings.Contains(out, "score: 3/3") {
+		t.Fatalf("render missing score:\n%s", out)
+	}
+}
+
+func TestCompareFlagsDeviation(t *testing.T) {
+	f := Figure{
+		ID: "Figure 10 (uni)",
+		Bars: []stats.RunResult{
+			mkBar("Base", 1000, 10),
+			mkBar("L2", 2000, 5), // 200 vs paper 70: way out
+		},
+	}
+	rows := Compare(&f)
+	var l2 *ComparisonRow
+	for i := range rows {
+		if rows[i].Bar == "L2" {
+			l2 = &rows[i]
+		}
+	}
+	if l2 == nil || l2.WithinTolerance {
+		t.Fatalf("gross deviation not flagged: %+v", l2)
+	}
+	if !strings.Contains(RenderComparison(rows), "DEVIATES") {
+		t.Fatal("render does not mark deviation")
+	}
+}
+
+func TestCompareUnknownFigure(t *testing.T) {
+	f := Figure{ID: "Figure 99", Bars: []stats.RunResult{mkBar("x", 1, 1)}}
+	if rows := Compare(&f); rows != nil {
+		t.Fatal("unknown figure produced comparison rows")
+	}
+	if RenderComparison(nil) != "" {
+		t.Fatal("empty comparison rendered non-empty")
+	}
+}
+
+func TestExpectationsWellFormed(t *testing.T) {
+	exps := paper.Expectations()
+	if len(exps) < 8 {
+		t.Fatalf("only %d figures have expectations", len(exps))
+	}
+	for id, e := range exps {
+		if e.ID != id {
+			t.Errorf("expectation %q has mismatched ID %q", id, e.ID)
+		}
+		for label, v := range e.Exec {
+			if v.V <= 0 {
+				t.Errorf("%s exec %q non-positive", id, label)
+			}
+			if tol := v.Tolerance(); tol <= 0 || tol >= 1 {
+				t.Errorf("%s exec %q tolerance %v out of range", id, label, tol)
+			}
+		}
+		for label, v := range e.Misses {
+			if v.V <= 0 {
+				t.Errorf("%s misses %q non-positive", id, label)
+			}
+		}
+	}
+	if len(paper.Ratios()) < 6 {
+		t.Fatal("ratio claims missing")
+	}
+}

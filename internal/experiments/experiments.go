@@ -1,0 +1,121 @@
+// Package experiments defines one runner per figure of the paper's
+// evaluation. Each runner assembles the configurations that appear as bars
+// in that figure, runs them under the standard warmup/measure protocol, and
+// returns a Figure whose rendering matches the paper's presentation
+// (normalized execution-time breakdowns on the left, normalized L2 miss
+// breakdowns on the right).
+package experiments
+
+import (
+	"fmt"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/oltp"
+	"oltpsim/internal/stats"
+)
+
+// Options controls the measurement protocol.
+type Options struct {
+	// WarmupTxns positions the caches in steady state before measuring. The
+	// paper's methodology warms through its fast-simulation mode; we warm
+	// with real transactions.
+	WarmupTxns uint64
+	// MeasureTxns is the measured run length (the paper measures 2000).
+	MeasureTxns uint64
+	// Seed lets property tests vary the workload.
+	Seed uint64
+	// Quick shrinks the run for smoke tests.
+	Quick bool
+}
+
+// DefaultOptions is the paper-fidelity protocol: measure 2000 transactions
+// as the paper does, after warming the caches into steady state (the paper
+// fast-forwards with its binary-translation mode; we warm with real
+// transactions, which takes a few thousand to populate the large metadata
+// arrays).
+func DefaultOptions() Options {
+	return Options{WarmupTxns: 3000, MeasureTxns: 2000, Seed: 0}
+}
+
+// QuickOptions is a fast variant for tests and iteration.
+func QuickOptions() Options {
+	return Options{WarmupTxns: 150, MeasureTxns: 400, Seed: 0, Quick: true}
+}
+
+// Params builds the workload parameters for a machine configuration.
+func (o Options) Params(cfg core.Config) oltp.Params {
+	p := oltp.DefaultParams(cfg.Processors)
+	if o.Quick {
+		p.TPCB.AccountsPerBranch = 20_000
+		p.TPCB.BufferFrames = 22_000
+		p.TPCB.SharedPoolBytes = 32 << 20
+	}
+	if o.Seed != 0 {
+		p.Seed = o.Seed
+	}
+	p.CodeReplication = cfg.CodeReplication
+	p.CoresPerChip = cfg.CoresPerChip
+	return p
+}
+
+// Run executes one configuration under the protocol.
+func (o Options) Run(cfg core.Config) stats.RunResult {
+	h := oltp.MustNewHarness(o.Params(cfg))
+	sys := core.MustNewSystem(cfg, h)
+	res := sys.Run(o.WarmupTxns, o.MeasureTxns)
+	res.Name = cfg.Name
+	return res
+}
+
+// Figure is one reproduced figure: a titled series of bars with a designated
+// normalization baseline.
+type Figure struct {
+	// ID is the paper's figure number ("Figure 5").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Bars are the per-configuration results, in presentation order.
+	Bars []stats.RunResult
+	// BaselineIdx is the bar everything is normalized to (the paper
+	// normalizes to the leftmost bar).
+	BaselineIdx int
+}
+
+// Baseline returns the normalization bar.
+func (f *Figure) Baseline() *stats.RunResult { return &f.Bars[f.BaselineIdx] }
+
+// NormExec returns bar i's execution time normalized to the baseline (x100,
+// as the paper labels its bars).
+func (f *Figure) NormExec(i int) float64 {
+	b := f.Baseline().CyclesPerTxn()
+	if b == 0 {
+		return 0
+	}
+	return 100 * (f.Bars[i].CyclesPerTxn() / b)
+}
+
+// NormMisses returns bar i's miss count normalized to the baseline (x100).
+func (f *Figure) NormMisses(i int) float64 {
+	b := f.Baseline().MissesPerTxn()
+	if b == 0 {
+		return 0
+	}
+	return 100 * (f.Bars[i].MissesPerTxn() / b)
+}
+
+// runAll executes a list of configurations as one figure.
+func runAll(o Options, id, title string, cfgs []core.Config) Figure {
+	f := Figure{ID: id, Title: title}
+	for _, cfg := range cfgs {
+		f.Bars = append(f.Bars, o.Run(cfg))
+	}
+	return f
+}
+
+// label renames a configuration for presentation.
+func label(cfg core.Config, name string) core.Config {
+	cfg.Name = name
+	return cfg
+}
+
+var _ = fmt.Sprintf // keep fmt for runners below

@@ -1,0 +1,156 @@
+package experiments
+
+import "oltpsim/internal/core"
+
+// offChipSweep builds the Figure 5/6 bar list: off-chip L2 from 1 to 8 MB,
+// direct-mapped and 4-way, plus the Conservative Base 8 MB 4-way.
+func offChipSweep(procs int) []core.Config {
+	var cfgs []core.Config
+	for _, assoc := range []int{1, 4} {
+		for _, size := range []int64{1, 2, 4, 8} {
+			cfgs = append(cfgs, core.BaseConfig(procs, size*core.MB, assoc))
+		}
+	}
+	cfgs = append(cfgs, core.ConservativeConfig(procs))
+	return cfgs
+}
+
+// Fig05 reproduces "Behavior of OLTP with different off-chip L2
+// configurations – uniprocessor".
+func Fig05(o Options) Figure {
+	return runAll(o, "Figure 5", "OLTP with off-chip L2, uniprocessor", offChipSweep(1))
+}
+
+// Fig06 reproduces the same sweep for 8 processors.
+func Fig06(o Options) Figure {
+	return runAll(o, "Figure 6", "OLTP with off-chip L2, 8 processors", offChipSweep(8))
+}
+
+// onChipSweep builds the Figure 7/8 bar list: the Base 8 MB direct-mapped
+// off-chip L2 against integrated SRAM L2s of varying size/associativity and
+// the 8 MB 8-way embedded-DRAM option.
+func onChipSweep(procs int) []core.Config {
+	cfgs := []core.Config{
+		label(core.BaseConfig(procs, 8*core.MB, 1), "8M1w Base"),
+		label(core.IntegratedL2Config(procs, 1*core.MB, 8, core.OnChipSRAM), "1M8w"),
+		label(core.IntegratedL2Config(procs, 2*core.MB, 8, core.OnChipSRAM), "2M8w"),
+		label(core.IntegratedL2Config(procs, 2*core.MB, 4, core.OnChipSRAM), "2M4w"),
+		label(core.IntegratedL2Config(procs, 2*core.MB, 2, core.OnChipSRAM), "2M2w"),
+		label(core.IntegratedL2Config(procs, 2*core.MB, 1, core.OnChipSRAM), "2M1w"),
+		label(core.IntegratedL2Config(procs, 8*core.MB, 8, core.OnChipDRAM), "8M8w DRAM"),
+	}
+	return cfgs
+}
+
+// Fig07 reproduces "Impact of on-chip L2 – uniprocessor".
+func Fig07(o Options) Figure {
+	return runAll(o, "Figure 7", "Impact of on-chip L2, uniprocessor", onChipSweep(1))
+}
+
+// Fig08 reproduces "Impact of on-chip L2 – 8 processors".
+func Fig08(o Options) Figure {
+	return runAll(o, "Figure 8", "Impact of on-chip L2, 8 processors", onChipSweep(8))
+}
+
+// integrationLadder builds the Figure 10 bars: Base (8M 1-way off-chip),
+// then 2M8w with successively more integration.
+func integrationLadder(procs int, full bool) []core.Config {
+	cfgs := []core.Config{
+		label(core.BaseConfig(procs, 8*core.MB, 1), "Base"),
+		label(core.IntegratedL2Config(procs, 2*core.MB, 8, core.OnChipSRAM), "L2"),
+		label(core.L2MCConfig(procs, 2*core.MB, 8), "L2+MC"),
+	}
+	if full {
+		cfgs = append(cfgs, label(core.FullConfig(procs, 2*core.MB, 8), "All"))
+	}
+	return cfgs
+}
+
+// Fig10Uni reproduces the uniprocessor half of "Impact of integrating L2,
+// memory controller, and coherence/network hardware".
+func Fig10Uni(o Options) Figure {
+	return runAll(o, "Figure 10 (uni)", "Successive integration, uniprocessor", integrationLadder(1, false))
+}
+
+// Fig10MP reproduces the 8-processor half, including full integration.
+func Fig10MP(o Options) Figure {
+	return runAll(o, "Figure 10 (8p)", "Successive integration, 8 processors", integrationLadder(8, true))
+}
+
+// racConfig attaches the Section 6 RAC (8 MB 8-way, memory-backed) to a
+// fully integrated machine.
+func racConfig(l2Size int64, l2Assoc int, withRAC, repl bool, name string) core.Config {
+	cfg := core.FullConfig(8, l2Size, l2Assoc)
+	if withRAC {
+		cfg.RAC = &core.RACConfig{SizeBytes: 8 * core.MB, Assoc: 8}
+	}
+	cfg.CodeReplication = repl
+	cfg.Name = name
+	return cfg
+}
+
+// Fig11 reproduces "Impact of remote access cache on L2 misses, with and
+// without instruction replication – 8 processors, 1MB 4-way L2".
+func Fig11(o Options) Figure {
+	return runAll(o, "Figure 11", "RAC impact on L2 miss mix (1M4w L2, 8p)", []core.Config{
+		racConfig(1*core.MB, 4, false, false, "NoRAC NoRepl"),
+		racConfig(1*core.MB, 4, true, false, "RAC NoRepl"),
+		racConfig(1*core.MB, 4, false, true, "NoRAC Repl"),
+		racConfig(1*core.MB, 4, true, true, "RAC Repl"),
+	})
+}
+
+// Fig12Small reproduces the 1 MB trio of "Performance impact of remote
+// access caches": 1M4w without RAC, with RAC, and the 1.25M L2 that the
+// RAC's tag space could have bought instead.
+func Fig12Small(o Options) Figure {
+	return runAll(o, "Figure 12 (1M)", "RAC performance, 1M4w L2 + repl (8p)", []core.Config{
+		racConfig(1*core.MB, 4, false, true, "NoRAC 1M4w"),
+		racConfig(1*core.MB, 4, true, true, "RAC 1M4w"),
+		racConfig(5*core.MB/4, 4, false, true, "NoRAC 1.25M"),
+	})
+}
+
+// Fig12Large reproduces the 2 MB pair.
+func Fig12Large(o Options) Figure {
+	return runAll(o, "Figure 12 (2M)", "RAC performance, 2M8w L2 + repl (8p)", []core.Config{
+		racConfig(2*core.MB, 8, false, true, "NoRAC 2M8w"),
+		racConfig(2*core.MB, 8, true, true, "RAC 2M8w"),
+	})
+}
+
+// oooLadder builds the Figure 13 bars: the in-order Base for reference, then
+// the integration ladder on out-of-order processors. Normalization is to
+// the OOO Base (index 1), as in the paper.
+func oooLadder(procs int, full bool) []core.Config {
+	mk := func(cfg core.Config, name string) core.Config {
+		cfg.OutOfOrder = true
+		cfg.OOO = core.DefaultOOO()
+		cfg.Name = name
+		return cfg
+	}
+	cfgs := []core.Config{
+		label(core.BaseConfig(procs, 8*core.MB, 1), "Base InOrder"),
+		mk(core.BaseConfig(procs, 8*core.MB, 1), "Base OOO"),
+		mk(core.IntegratedL2Config(procs, 2*core.MB, 8, core.OnChipSRAM), "L2 OOO"),
+		mk(core.L2MCConfig(procs, 2*core.MB, 8), "L2+MC OOO"),
+	}
+	if full {
+		cfgs = append(cfgs, mk(core.FullConfig(procs, 2*core.MB, 8), "All OOO"))
+	}
+	return cfgs
+}
+
+// Fig13Uni reproduces the uniprocessor half of the out-of-order study.
+func Fig13Uni(o Options) Figure {
+	f := runAll(o, "Figure 13 (uni)", "Out-of-order processors, uniprocessor", oooLadder(1, false))
+	f.BaselineIdx = 1
+	return f
+}
+
+// Fig13MP reproduces the 8-processor half.
+func Fig13MP(o Options) Figure {
+	f := runAll(o, "Figure 13 (8p)", "Out-of-order processors, 8 processors", oooLadder(8, true))
+	f.BaselineIdx = 1
+	return f
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"oltpsim/internal/coherence"
+)
+
+// RenderExec formats a figure's left-hand graph: normalized execution time
+// with the paper's breakdown (CPU, L2Hit, LocStall, RemStall split into
+// clean and dirty).
+func (f *Figure) RenderExec() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "normalized execution time (baseline %s = 100)\n", f.Bars[f.BaselineIdx].Name)
+	fmt.Fprintf(&b, "%-14s %7s %7s %7s %7s %7s %7s\n", "config", "total", "CPU", "L2Hit", "Loc", "Rem", "Dirty")
+	base := f.Baseline().CyclesPerTxn()
+	for i := range f.Bars {
+		r := &f.Bars[i]
+		scale := 0.0
+		if base > 0 && r.Txns > 0 {
+			scale = 100 / (base * float64(r.Txns))
+		}
+		fmt.Fprintf(&b, "%-14s %7.1f %7.1f %7.1f %7.1f %7.1f %7.1f\n",
+			r.Name, f.NormExec(i),
+			float64(r.Breakdown.Busy)*scale,
+			float64(r.Breakdown.L2Hit)*scale,
+			float64(r.Breakdown.Local)*scale,
+			float64(r.Breakdown.Remote)*scale,
+			float64(r.Breakdown.RemoteDirty)*scale)
+	}
+	return b.String()
+}
+
+// RenderMisses formats a figure's right-hand graph: normalized L2 misses
+// split instruction/data and local/2-hop/3-hop.
+func (f *Figure) RenderMisses() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "normalized L2 misses (baseline %s = 100)\n", f.Bars[f.BaselineIdx].Name)
+	fmt.Fprintf(&b, "%-14s %7s %7s %7s %7s %7s %7s\n",
+		"config", "total", "I-Loc", "I-Rem", "D-Loc", "D-RemCl", "D-RemDy")
+	base := f.Baseline().MissesPerTxn()
+	for i := range f.Bars {
+		r := &f.Bars[i]
+		scale := 0.0
+		if base > 0 && r.Txns > 0 {
+			scale = 100 / (base * float64(r.Txns))
+		}
+		m := &r.Miss
+		iLoc := float64(m.I[coherence.CatLocal])
+		iRem := float64(m.I[coherence.CatRemoteClean] + m.I[coherence.CatRemoteDirty] + m.I[coherence.CatRemoteDirtyRAC])
+		dLoc := float64(m.D[coherence.CatLocal])
+		dCl := float64(m.D[coherence.CatRemoteClean])
+		dDy := float64(m.D[coherence.CatRemoteDirty] + m.D[coherence.CatRemoteDirtyRAC])
+		fmt.Fprintf(&b, "%-14s %7.1f %7.1f %7.1f %7.1f %7.1f %7.1f\n",
+			r.Name, f.NormMisses(i), iLoc*scale, iRem*scale, dLoc*scale, dCl*scale, dDy*scale)
+	}
+	return b.String()
+}
+
+// RenderDetail appends per-bar raw diagnostics (hit rates, invalidation
+// rates, RAC statistics) useful when validating against the paper's prose.
+func (f *Figure) RenderDetail() string {
+	var b strings.Builder
+	for i := range f.Bars {
+		r := &f.Bars[i]
+		fmt.Fprintf(&b, "%-14s cyc/txn %8.0f  miss/txn %7.1f  L1I %5.1f%%  L1D %5.1f%%  kern %4.1f%%  util %4.1f%%",
+			r.Name, r.CyclesPerTxn(), r.MissesPerTxn(),
+			100*r.L1IMissRate, 100*r.L1DMissRate, 100*r.KernelFraction, 100*r.Utilization)
+		if r.RACProbes > 0 {
+			fmt.Fprintf(&b, "  RAC %4.1f%%", 100*r.RACHitRate())
+		}
+		fmt.Fprintf(&b, "  inval/store %.3f\n", r.InvalPerStore())
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestRunnersProduceWellFormedFigures exercises the figure runners
+// themselves (bar order, labels, normalization) on tiny runs; the full-scale
+// outputs are produced by the benchmarks.
+func TestRunnersProduceWellFormedFigures(t *testing.T) {
+	o := QuickOptions()
+	o.WarmupTxns, o.MeasureTxns = 60, 120
+
+	t.Run("Fig11", func(t *testing.T) {
+		f := Fig11(o)
+		want := []string{"NoRAC NoRepl", "RAC NoRepl", "NoRAC Repl", "RAC Repl"}
+		if len(f.Bars) != len(want) {
+			t.Fatalf("bars %d", len(f.Bars))
+		}
+		for i, w := range want {
+			if f.Bars[i].Name != w {
+				t.Fatalf("bar %d = %q, want %q", i, f.Bars[i].Name, w)
+			}
+		}
+		if f.NormMisses(0) != 100 {
+			t.Fatal("baseline misses not 100")
+		}
+	})
+
+	t.Run("Fig13Uni", func(t *testing.T) {
+		f := Fig13Uni(o)
+		if f.BaselineIdx != 1 || f.Bars[1].Name != "Base OOO" {
+			t.Fatalf("baseline %d (%s), want Base OOO", f.BaselineIdx, f.Bars[f.BaselineIdx].Name)
+		}
+		// In-order must be slower than the OOO baseline.
+		if f.NormExec(0) <= 100 {
+			t.Fatalf("in-order %0.f not above OOO baseline", f.NormExec(0))
+		}
+	})
+
+	t.Run("Fig10Uni", func(t *testing.T) {
+		f := Fig10Uni(o)
+		if len(f.Bars) != 3 {
+			t.Fatalf("bars %d", len(f.Bars))
+		}
+		if f.NormExec(1) >= 100 {
+			t.Fatal("L2 integration did not improve the quick run")
+		}
+	})
+}

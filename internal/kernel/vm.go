@@ -1,0 +1,143 @@
+// Package kernel models the operating-system pieces the workload depends on:
+// a virtual address space with NUMA page-placement policies (including the
+// OS-based code replication studied in paper Section 6), and a per-CPU
+// process scheduler with time slices, blocking, and context-switch overhead.
+// The paper runs Oracle under Digital Unix inside SimOS and reports ~25% of
+// OLTP execution in the kernel; this package is our stand-in for that layer.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"oltpsim/internal/memref"
+)
+
+// Placement is a page-placement policy for a region of the address space.
+type Placement uint8
+
+const (
+	// RoundRobinPages stripes successive pages across nodes. This is the
+	// paper's situation for the SGA: "it is very difficult to do data
+	// placement for OLTP, hence the chance of finding data locally is on
+	// average 1-in-8 given 8 nodes".
+	RoundRobinPages Placement = iota
+	// NodeLocal places the whole region on one node (process-private memory:
+	// stacks, PGA, kernel per-process structures).
+	NodeLocal
+	// Interleaved stripes at line granularity rather than page granularity;
+	// available for ablations (fine-grain interleave was a real design knob
+	// of the era).
+	Interleaved
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case RoundRobinPages:
+		return "round-robin"
+	case NodeLocal:
+		return "node-local"
+	case Interleaved:
+		return "interleaved"
+	default:
+		return "?"
+	}
+}
+
+// Region is a contiguous range of the simulated address space with one
+// placement policy.
+type Region struct {
+	Name      string
+	Base      uint64
+	Size      uint64
+	Placement Placement
+	// Node is the owner for NodeLocal regions.
+	Node int
+	// Code marks instruction regions; the replication experiment only
+	// affects these.
+	Code bool
+}
+
+// End returns one past the last byte of the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// AddressSpace maps lines to home nodes through its region table. Regions
+// must not overlap; lookups outside any region fall back to round-robin
+// placement so that stray addresses are never fatal in a long simulation.
+type AddressSpace struct {
+	nodes   int
+	regions []Region // sorted by Base
+}
+
+// NewAddressSpace creates an address space for a machine with nodes memories.
+func NewAddressSpace(nodes int) *AddressSpace {
+	if nodes <= 0 {
+		panic("kernel: address space needs at least one node")
+	}
+	return &AddressSpace{nodes: nodes}
+}
+
+// AddRegion registers a region. It panics on overlap — the layout is
+// constructed once by the harness, so an overlap is a programming error.
+func (as *AddressSpace) AddRegion(r Region) {
+	if r.Size == 0 {
+		panic(fmt.Sprintf("kernel: region %s has zero size", r.Name))
+	}
+	for _, q := range as.regions {
+		if r.Base < q.End() && q.Base < r.End() {
+			panic(fmt.Sprintf("kernel: region %s [%#x,%#x) overlaps %s [%#x,%#x)",
+				r.Name, r.Base, r.End(), q.Name, q.Base, q.End()))
+		}
+	}
+	as.regions = append(as.regions, r)
+	sort.Slice(as.regions, func(i, j int) bool { return as.regions[i].Base < as.regions[j].Base })
+}
+
+// RegionOf returns the region containing addr, or nil.
+func (as *AddressSpace) RegionOf(addr uint64) *Region {
+	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].Base > addr })
+	if i == 0 {
+		return nil
+	}
+	r := &as.regions[i-1]
+	if addr >= r.End() {
+		return nil
+	}
+	return r
+}
+
+// HomeOf returns the home node of the line containing addr.
+func (as *AddressSpace) HomeOf(addr uint64) int {
+	r := as.RegionOf(addr)
+	if r == nil {
+		return int(memref.PageOf(addr)) % as.nodes
+	}
+	switch r.Placement {
+	case NodeLocal:
+		return r.Node
+	case Interleaved:
+		return int((addr-r.Base)>>memref.LineShift) % as.nodes
+	default:
+		return int((addr-r.Base)>>memref.PageShift) % as.nodes
+	}
+}
+
+// Nodes returns the machine size the space was built for.
+func (as *AddressSpace) Nodes() int { return as.nodes }
+
+// Regions returns a copy of the region table for reporting.
+func (as *AddressSpace) Regions() []Region {
+	out := make([]Region, len(as.regions))
+	copy(out, as.regions)
+	return out
+}
+
+// TotalSize sums the sizes of all regions.
+func (as *AddressSpace) TotalSize() uint64 {
+	var n uint64
+	for _, r := range as.regions {
+		n += r.Size
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+// Package memref defines the memory-reference vocabulary shared by the
+// workload generators and the timing models: a Ref is one instruction-fetch
+// line or one data access, annotated with enough information for both the
+// in-order and out-of-order processor models to time it and for the
+// statistics machinery to attribute it.
+package memref
+
+// LineBytes is the coherence/cache line size used throughout the study
+// (paper Figure 2: 64-byte lines).
+const LineBytes = 64
+
+// LineShift is log2(LineBytes).
+const LineShift = 6
+
+// PageBytes is the virtual-memory page size (8 KB, the Alpha page size).
+const PageBytes = 8192
+
+// PageShift is log2(PageBytes).
+const PageShift = 13
+
+// Kind distinguishes the three access types the simulator times.
+type Kind uint8
+
+const (
+	// IFetch is an instruction fetch of one cache line. Its Instrs field
+	// carries the number of instructions executed out of that line, which is
+	// the busy-cycle contribution of the fetch on the single-issue model.
+	IFetch Kind = iota
+	// Load is a data read.
+	Load
+	// Store is a data write. The simulated memory system is sequentially
+	// consistent, so stores stall the in-order processor just as loads do.
+	Store
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case IFetch:
+		return "ifetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return "unknown"
+	}
+}
+
+// Ref is a single memory reference emitted by a workload generator.
+type Ref struct {
+	// Addr is the (virtual == simulated physical) byte address.
+	Addr uint64
+	// Kind says whether this is an instruction fetch, load, or store.
+	Kind Kind
+	// Kernel marks references issued in kernel mode, for the user/system
+	// attribution the paper reports (~25% kernel for OLTP).
+	Kernel bool
+	// DepPrev marks a data access whose address depends on the result of the
+	// previous data access by the same process (pointer chasing, e.g. hash
+	// chain walks). The out-of-order model serializes such chains; everything
+	// else may overlap within the instruction window.
+	DepPrev bool
+	// Instrs is, for IFetch refs, the number of instructions executed from
+	// the fetched line (1..16 for 4-byte instructions in a 64-byte line).
+	// Zero for data refs: a data access's instruction is accounted by the
+	// fetch of the line containing it.
+	Instrs uint16
+}
+
+// Line returns the cache-line address (byte address with the offset bits
+// cleared).
+func (r Ref) Line() uint64 { return r.Addr &^ (LineBytes - 1) }
+
+// LineOf returns the line address containing addr.
+func LineOf(addr uint64) uint64 { return addr &^ (LineBytes - 1) }
+
+// PageOf returns the page number containing addr.
+func PageOf(addr uint64) uint64 { return addr >> PageShift }

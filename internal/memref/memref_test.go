@@ -1,0 +1,56 @@
+package memref
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct{ addr, want uint64 }{
+		{0, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{8191, 8128},
+		{1<<40 + 130, 1<<40 + 128},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.want {
+			t.Errorf("LineOf(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRefLineMatchesLineOf(t *testing.T) {
+	f := func(addr uint64) bool {
+		r := Ref{Addr: addr}
+		return r.Line() == LineOf(addr) && r.Line()%LineBytes == 0 && r.Line() <= addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(8191) != 0 || PageOf(8192) != 1 {
+		t.Fatal("PageOf boundaries wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if IFetch.String() != "ifetch" || Load.String() != "load" || Store.String() != "store" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown Kind string wrong")
+	}
+}
+
+func TestConstantsConsistent(t *testing.T) {
+	if 1<<LineShift != LineBytes {
+		t.Fatalf("LineShift %d inconsistent with LineBytes %d", LineShift, LineBytes)
+	}
+	if 1<<PageShift != PageBytes {
+		t.Fatalf("PageShift %d inconsistent with PageBytes %d", PageShift, PageBytes)
+	}
+}

@@ -1,0 +1,157 @@
+// Package noc models the interconnect of the multiprocessor: a 2D-torus
+// point-to-point network like the one the Alpha 21364 forms by tiling
+// processors (paper Figure 1B), with dimension-order routing, per-hop
+// latency, and optional link occupancy. The paper's Figure 3 latencies are
+// end-to-end, so the base configurations do not consult the network for
+// latency; the detailed/contention mode and the ablation benchmarks use it
+// to expose topology and bandwidth effects the fixed numbers hide.
+package noc
+
+import "fmt"
+
+// Config describes the network.
+type Config struct {
+	// Width and Height define the torus (4x2 for the paper's 8 nodes).
+	Width, Height int
+	// HopCycles is the per-hop latency (router + link flight).
+	HopCycles uint32
+	// LinkBusyCycles is how long one message occupies a link (serialization
+	// at >4 GB/s per paper Section 2.3: a 64-byte line plus header in ~16ns).
+	LinkBusyCycles uint32
+}
+
+// DefaultConfig returns the 8-node torus.
+func DefaultConfig(nodes int) Config {
+	w, h := dims(nodes)
+	return Config{Width: w, Height: h, HopCycles: 25, LinkBusyCycles: 16}
+}
+
+// dims picks a near-square factorization.
+func dims(nodes int) (int, int) {
+	bestW, bestH := nodes, 1
+	for w := 1; w*w <= nodes; w++ {
+		if nodes%w == 0 {
+			bestW, bestH = nodes/w, w
+		}
+	}
+	return bestW, bestH
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Messages    uint64
+	HopsTotal   uint64
+	QueueCycles uint64
+}
+
+// Network is the torus with per-link occupancy. Links are indexed by
+// (node, direction); four directions per node.
+type Network struct {
+	cfg      Config
+	linkBusy []uint64 // [node*4 + dir]
+	Stats    Stats
+}
+
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// New builds the network.
+func New(cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic(fmt.Sprintf("noc: bad torus %dx%d", cfg.Width, cfg.Height))
+	}
+	return &Network{cfg: cfg, linkBusy: make([]uint64, cfg.Width*cfg.Height*4)}
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+func (n *Network) coords(node int) (x, y int) {
+	return node % n.cfg.Width, node / n.cfg.Width
+}
+
+// torusDelta returns the signed shortest displacement from a to b on a ring
+// of size m.
+func torusDelta(a, b, m int) int {
+	d := (b - a) % m
+	if d < 0 {
+		d += m
+	}
+	if d > m/2 {
+		d -= m
+	}
+	return d
+}
+
+// HopCount returns the dimension-order hop count between two nodes.
+func (n *Network) HopCount(a, b int) int {
+	ax, ay := n.coords(a)
+	bx, by := n.coords(b)
+	dx := torusDelta(ax, bx, n.cfg.Width)
+	dy := torusDelta(ay, by, n.cfg.Height)
+	return abs(dx) + abs(dy)
+}
+
+// Send routes one message from a to b at time at, reserving each link along
+// the dimension-order path, and returns (latency, queueDelay): latency is
+// hops*HopCycles plus any queuing.
+func (n *Network) Send(a, b int, at uint64) (latency, queued uint32) {
+	n.Stats.Messages++
+	if a == b {
+		return 0, 0
+	}
+	ax, ay := n.coords(a)
+	bx, by := n.coords(b)
+	dx := torusDelta(ax, bx, n.cfg.Width)
+	dy := torusDelta(ay, by, n.cfg.Height)
+
+	t := at
+	x, y := ax, ay
+	step := func(node, dir, nx, ny int) {
+		li := node*4 + dir
+		if n.linkBusy[li] > t {
+			q := n.linkBusy[li] - t
+			queued += uint32(q)
+			n.Stats.QueueCycles += q
+			t = n.linkBusy[li]
+		}
+		n.linkBusy[li] = t + uint64(n.cfg.LinkBusyCycles)
+		t += uint64(n.cfg.HopCycles)
+		n.Stats.HopsTotal++
+		x, y = nx, ny
+	}
+	for dx != 0 {
+		if dx > 0 {
+			step(y*n.cfg.Width+x, dirEast, (x+1)%n.cfg.Width, y)
+			dx--
+		} else {
+			step(y*n.cfg.Width+x, dirWest, (x-1+n.cfg.Width)%n.cfg.Width, y)
+			dx++
+		}
+	}
+	for dy != 0 {
+		if dy > 0 {
+			step(y*n.cfg.Width+x, dirSouth, x, (y+1)%n.cfg.Height)
+			dy--
+		} else {
+			step(y*n.cfg.Width+x, dirNorth, x, (y-1+n.cfg.Height)%n.cfg.Height)
+			dy++
+		}
+	}
+	latency = uint32(t - at)
+	return latency, queued
+}
+
+// ResetStats zeroes counters.
+func (n *Network) ResetStats() { n.Stats = Stats{} }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

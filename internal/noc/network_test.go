@@ -1,0 +1,94 @@
+package noc
+
+import "testing"
+
+func TestDims(t *testing.T) {
+	cases := []struct{ nodes, w, h int }{
+		{8, 4, 2}, {16, 4, 4}, {4, 2, 2}, {1, 1, 1}, {6, 3, 2},
+	}
+	for _, c := range cases {
+		w, h := dims(c.nodes)
+		if w != c.w || h != c.h {
+			t.Errorf("dims(%d) = %dx%d, want %dx%d", c.nodes, w, h, c.w, c.h)
+		}
+	}
+}
+
+func TestHopCountTorus(t *testing.T) {
+	n := New(Config{Width: 4, Height: 2, HopCycles: 25, LinkBusyCycles: 16})
+	if n.Nodes() != 8 {
+		t.Fatalf("nodes = %d", n.Nodes())
+	}
+	cases := []struct{ a, b, hops int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1}, // torus wrap in x
+		{0, 4, 1}, // one hop in y
+		{0, 5, 2},
+		{1, 7, 3}, // (1,0) -> (3,1): two x hops (no shorter wrap) plus one y hop
+		{0, 6, 3},
+	}
+	for _, c := range cases {
+		if got := n.HopCount(c.a, c.b); got != c.hops {
+			t.Errorf("HopCount(%d,%d) = %d, want %d", c.a, c.b, got, c.hops)
+		}
+	}
+}
+
+func TestHopCountSymmetric(t *testing.T) {
+	n := New(DefaultConfig(8))
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			if n.HopCount(a, b) != n.HopCount(b, a) {
+				t.Fatalf("asymmetric hop count %d<->%d", a, b)
+			}
+		}
+	}
+}
+
+func TestSendLatency(t *testing.T) {
+	n := New(Config{Width: 4, Height: 2, HopCycles: 25, LinkBusyCycles: 16})
+	lat, q := n.Send(0, 5, 0)
+	if q != 0 {
+		t.Fatalf("uncontended send queued %d", q)
+	}
+	if want := uint32(2 * 25); lat != want {
+		t.Fatalf("latency %d, want %d", lat, want)
+	}
+	if lat, _ := n.Send(3, 3, 0); lat != 0 {
+		t.Fatal("self-send has latency")
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	n := New(Config{Width: 4, Height: 1, HopCycles: 25, LinkBusyCycles: 16})
+	n.Send(0, 1, 100)
+	_, q := n.Send(0, 1, 100) // same link, same instant
+	if q == 0 {
+		t.Fatal("second message on a busy link was not queued")
+	}
+	if n.Stats.QueueCycles == 0 || n.Stats.Messages != 2 {
+		t.Fatalf("stats %+v", n.Stats)
+	}
+}
+
+func TestSendStatsAndReset(t *testing.T) {
+	n := New(DefaultConfig(8))
+	n.Send(0, 6, 0)
+	if n.Stats.HopsTotal == 0 {
+		t.Fatal("no hops recorded")
+	}
+	n.ResetStats()
+	if n.Stats != (Stats{}) {
+		t.Fatal("stats not reset")
+	}
+}
+
+func TestBadTorusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero dims did not panic")
+		}
+	}()
+	New(Config{Width: 0, Height: 2})
+}

@@ -1,0 +1,103 @@
+package oltp
+
+import (
+	"oltpsim/internal/memref"
+	"oltpsim/internal/tpcb"
+)
+
+// kernelCode is the operating-system instruction footprint: the syscall and
+// interrupt paths the workload exercises. Together with the server code it
+// reproduces the paper's observation that kernel activity is ~25% of OLTP
+// execution and that the combined instruction footprint overwhelms the L1s.
+type kernelCode struct {
+	pipeRead  *tpcb.CodeFn
+	pipeWrite *tpcb.CodeFn
+	semWait   *tpcb.CodeFn
+	semPost   *tpcb.CodeFn
+	ctxSwitch *tpcb.CodeFn
+	ioSubmit  *tpcb.CodeFn
+	ioIntr    *tpcb.CodeFn
+	all       []*tpcb.CodeFn
+}
+
+func newKernelCode(alloc tpcb.Allocator) *kernelCode {
+	mk := func(name string, sizeKB, path int, loopy bool) *tpcb.CodeFn {
+		size := uint64(sizeKB) << 10
+		base := alloc.Alloc("kcode."+name, size, tpcb.KindCode)
+		return &tpcb.CodeFn{
+			Name:       name,
+			Base:       base,
+			SizeLines:  int(size / memref.LineBytes),
+			PathInstrs: path,
+			Loopy:      loopy,
+			Kernel:     true,
+		}
+	}
+	k := &kernelCode{
+		pipeRead:  mk("pipe_read", 24, 650, false),
+		pipeWrite: mk("pipe_write", 24, 650, false),
+		semWait:   mk("sem_wait", 16, 350, false),
+		semPost:   mk("sem_post", 16, 250, true),
+		ctxSwitch: mk("ctx_switch", 16, 450, false),
+		ioSubmit:  mk("io_submit", 16, 400, false),
+		ioIntr:    mk("io_intr", 16, 200, true),
+	}
+	k.all = []*tpcb.CodeFn{k.pipeRead, k.pipeWrite, k.semWait, k.semPost, k.ctxSwitch, k.ioSubmit, k.ioIntr}
+	return k
+}
+
+// kernelPipeRead models the server receiving a request from its client:
+// syscall entry, pipe buffer copy, process bookkeeping.
+func (h *Harness) kernelPipeRead(g *serverGen) {
+	h.em.SetKernel(true)
+	h.em.Code(h.kc.pipeRead)
+	h.em.Load(g.pipe, false)
+	h.em.Load(g.pipe+memref.LineBytes, false)
+	h.em.Store(g.pipe+2*memref.LineBytes, false)
+	h.em.SetKernel(false)
+}
+
+// kernelPipeWrite models the reply to the client.
+func (h *Harness) kernelPipeWrite(g *serverGen) {
+	h.em.SetKernel(true)
+	h.em.Code(h.kc.pipeWrite)
+	h.em.Store(g.pipe+3*memref.LineBytes, false)
+	h.em.Store(g.pipe+4*memref.LineBytes, false)
+	h.em.SetKernel(false)
+}
+
+// kernelSemWait models the commit wait registration: the server arms its
+// semaphore (a shared line the log writer will post) and descends into the
+// scheduler.
+func (h *Harness) kernelSemWait(g *serverGen) {
+	h.em.SetKernel(true)
+	h.em.Code(h.kc.semWait)
+	h.em.Store(g.sem, false)
+	h.em.SetKernel(false)
+}
+
+// kernelSemPost is the log writer's side: posting one waiter's semaphore —
+// a guaranteed cross-processor store on the multiprocessor.
+func (h *Harness) kernelSemPost(sem uint64) {
+	h.em.SetKernel(true)
+	h.em.Code(h.kc.semPost)
+	h.em.Store(sem, false)
+	h.em.SetKernel(false)
+}
+
+// kernelIOSubmit models queueing a disk write.
+func (h *Harness) kernelIOSubmit(percpu uint64) {
+	h.em.SetKernel(true)
+	h.em.Code(h.kc.ioSubmit)
+	h.em.Store(percpu+4*memref.LineBytes, false)
+	h.em.SetKernel(false)
+}
+
+// kernelIOIntr models the completion interrupt.
+func (h *Harness) kernelIOIntr(percpu uint64) {
+	h.em.SetKernel(true)
+	h.em.Code(h.kc.ioIntr)
+	h.em.Load(percpu+4*memref.LineBytes, false)
+	h.em.Store(percpu+5*memref.LineBytes, false)
+	h.em.SetKernel(false)
+}

@@ -1,0 +1,85 @@
+package oltp
+
+import (
+	"fmt"
+
+	"oltpsim/internal/tpcb"
+)
+
+// Params configures the workload harness.
+type Params struct {
+	// CPUs is the number of cores (matches core.Config.Processors).
+	CPUs int
+	// CoresPerChip groups cores onto chips; the address space then has
+	// CPUs/CoresPerChip NUMA nodes (0 or 1 = one core per chip).
+	CoresPerChip int
+	// ServersPerCPU is the dedicated-server multiprogramming level (paper:
+	// 8 per processor, to hide I/O latencies).
+	ServersPerCPU int
+	// Seed drives every random stream in the workload.
+	Seed uint64
+	// TPCB sizes the database.
+	TPCB tpcb.Config
+	// CodeReplication replicates instruction pages at every node (paper
+	// Section 6's OS-based replication experiment).
+	CodeReplication bool
+
+	// LogIOCycles is the redo-log disk write latency (battery-backed
+	// controller class device; group commit amortizes it).
+	LogIOCycles uint64
+	// LogIOPerKB adds transfer time per KB of gathered redo.
+	LogIOPerKB uint64
+	// DBWRSleepCycles is the database writer's wakeup period.
+	DBWRSleepCycles uint64
+	// DBWRBatch is how many dirty blocks one DBWR pass writes.
+	DBWRBatch int
+	// DBWRIOCycles is the DBWR write latency.
+	DBWRIOCycles uint64
+	// SchedQuantum is the scheduler time slice in references.
+	SchedQuantum int
+}
+
+// DefaultParams returns the paper-fidelity workload for a machine size.
+func DefaultParams(cpus int) Params {
+	return Params{
+		CPUs:            cpus,
+		ServersPerCPU:   8,
+		Seed:            0x5eed_0217_beef_cafe,
+		TPCB:            tpcb.DefaultConfig(),
+		LogIOCycles:     45_000,
+		LogIOPerKB:      500,
+		DBWRSleepCycles: 1_500_000,
+		DBWRBatch:       64,
+		DBWRIOCycles:    150_000,
+		SchedQuantum:    40_000,
+	}
+}
+
+// TestParams returns a scaled-down workload for unit tests: the small
+// database and short I/O times keep test runs fast while exercising the same
+// code paths.
+func TestParams(cpus int) Params {
+	p := DefaultParams(cpus)
+	p.TPCB = tpcb.SmallConfig()
+	p.LogIOCycles = 20_000
+	p.DBWRSleepCycles = 300_000
+	p.DBWRIOCycles = 30_000
+	return p
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.CPUs <= 0 {
+		return fmt.Errorf("oltp: CPUs must be positive")
+	}
+	if p.CoresPerChip < 0 || (p.CoresPerChip > 1 && p.CPUs%p.CoresPerChip != 0) {
+		return fmt.Errorf("oltp: %d CPUs do not divide into chips of %d", p.CPUs, p.CoresPerChip)
+	}
+	if p.ServersPerCPU <= 0 {
+		return fmt.Errorf("oltp: ServersPerCPU must be positive")
+	}
+	if p.SchedQuantum <= 0 {
+		return fmt.Errorf("oltp: SchedQuantum must be positive")
+	}
+	return p.TPCB.Validate()
+}

@@ -1,0 +1,89 @@
+package rac
+
+import (
+	"testing"
+
+	"oltpsim/internal/cache"
+)
+
+func TestTakeIsExclusive(t *testing.T) {
+	r := New(64*64, 8)
+	r.Insert(128, cache.Shared)
+	st, ok := r.Take(128)
+	if !ok || st != cache.Shared {
+		t.Fatalf("Take = (%v, %v)", st, ok)
+	}
+	if _, ok := r.Take(128); ok {
+		t.Fatal("line still in RAC after Take")
+	}
+	if r.Stats.Hits != 1 || r.Stats.Probes != 2 {
+		t.Fatalf("stats %+v", r.Stats)
+	}
+}
+
+func TestInsertEviction(t *testing.T) {
+	r := New(8*64, 8) // one set, 8 ways
+	for i := uint64(0); i < 8; i++ {
+		if _, vst := r.Insert(i*64, cache.Modified); vst != cache.Invalid {
+			t.Fatal("premature eviction")
+		}
+	}
+	victim, vst := r.Insert(8*64, cache.Modified)
+	if vst != cache.Modified || victim != 0 {
+		t.Fatalf("victim (%#x, %v), want LRU line 0", victim, vst)
+	}
+	if r.Stats.Evictions != 1 || r.Stats.Inserts != 9 {
+		t.Fatalf("stats %+v", r.Stats)
+	}
+}
+
+func TestInvalidateAndDowngrade(t *testing.T) {
+	r := New(64*64, 8)
+	r.Insert(64, cache.Modified)
+	if !r.Downgrade(64) {
+		t.Fatal("Downgrade failed")
+	}
+	if r.Probe(64) != cache.Shared {
+		t.Fatal("state after downgrade not Shared")
+	}
+	if st := r.Invalidate(64); st != cache.Shared {
+		t.Fatalf("Invalidate returned %v", st)
+	}
+	if r.Occupancy() != 0 {
+		t.Fatal("line remains after invalidate")
+	}
+	if r.Downgrade(64) {
+		t.Fatal("Downgrade of absent line succeeded")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	r := New(64*64, 8)
+	if r.Stats.HitRate() != 0 {
+		t.Fatal("hit rate of fresh RAC not 0")
+	}
+	r.Insert(0, cache.Shared)
+	r.Take(0)  // hit
+	r.Take(64) // miss
+	if hr := r.Stats.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", hr)
+	}
+}
+
+func TestTagCost(t *testing.T) {
+	// Paper Section 6: the 8 MB RAC's on-chip tags displace ~0.25 MB of L2.
+	r := New(8<<20, 8)
+	if r.TagBytes < 256<<10 || r.TagBytes > 1<<20 {
+		t.Fatalf("tag cost %d bytes implausible for an 8 MB RAC", r.TagBytes)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	r := New(64*64, 8)
+	r.Insert(0, cache.Shared)
+	r.Take(0)
+	r.ResetStats()
+	if r.Stats != (Stats{}) {
+		t.Fatal("stats not reset")
+	}
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Fork()
+	c2 := parent.Fork()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked children produced identical first values")
+	}
+}
+
+func TestRNGForkDeterministic(t *testing.T) {
+	mk := func() uint64 {
+		p := NewRNG(99)
+		return p.Fork().Uint64()
+	}
+	if mk() != mk() {
+		t.Fatal("fork is not deterministic")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10_000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) hit rate %v", frac)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(1000, 0.9)
+	r := NewRNG(17)
+	for i := 0; i < 50_000; i++ {
+		v := z.Next(r)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of bounds: %d", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(10_000, 0.9)
+	r := NewRNG(19)
+	counts := make([]int, 10_000)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		counts[z.Next(r)]++
+	}
+	// Rank 0 must be by far the most popular, and the top 1% of ranks must
+	// carry a large share of the mass for theta = 0.9.
+	top1pct := 0
+	for i := 0; i < 100; i++ {
+		top1pct += counts[i]
+	}
+	if counts[0] < counts[500] {
+		t.Fatalf("rank 0 (%d) not hotter than rank 500 (%d)", counts[0], counts[500])
+	}
+	if frac := float64(top1pct) / n; frac < 0.30 {
+		t.Fatalf("top 1%% of ranks carries only %.2f of mass; want heavy skew", frac)
+	}
+}
+
+func TestZipfLowThetaIsFlatter(t *testing.T) {
+	flat := NewZipf(1000, 0.1)
+	skewed := NewZipf(1000, 0.95)
+	rf, rs := NewRNG(23), NewRNG(23)
+	var flatTop, skewTop int
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if flat.Next(rf) < 10 {
+			flatTop++
+		}
+		if skewed.Next(rs) < 10 {
+			skewTop++
+		}
+	}
+	if flatTop >= skewTop {
+		t.Fatalf("theta=0.1 top-10 mass %d >= theta=0.95 mass %d", flatTop, skewTop)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(0, 0.5)
+}
+
+// TestUint64Distribution checks a basic uniformity property with
+// testing/quick: for arbitrary seeds, high and low halves of outputs are not
+// constant.
+func TestUint64Distribution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		var orAll, andAll uint64 = 0, ^uint64(0)
+		for i := 0; i < 64; i++ {
+			v := r.Uint64()
+			orAll |= v
+			andAll &= v
+		}
+		// After 64 draws essentially every bit should have been 0 at least
+		// once and 1 at least once.
+		return orAll == ^uint64(0) && andAll == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

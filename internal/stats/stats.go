@@ -1,0 +1,192 @@
+// Package stats defines the measurement vocabulary of the study — L2 miss
+// tables broken down the way the paper plots them, run results combining
+// execution-time breakdowns with protocol counters — plus the normalization
+// and ASCII rendering used to regenerate each figure.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"oltpsim/internal/coherence"
+	"oltpsim/internal/cpu"
+)
+
+// MissTable decomposes L2 misses exactly as the paper's right-hand graphs
+// do: instruction vs. data, each split into local, remote-clean (2-hop) and
+// remote-dirty (3-hop, with RAC-sourced tracked separately).
+type MissTable struct {
+	// I and D are indexed by coherence.Category.
+	I [coherence.NumCategories]uint64
+	D [coherence.NumCategories]uint64
+	// RACHitsI/D are the subsets of I/D local misses satisfied by the
+	// node's own RAC.
+	RACHitsI uint64
+	RACHitsD uint64
+	// Upgrades counts write-permission transactions (no data transfer);
+	// the paper's miss graphs exclude them but the invalidation-rate
+	// discussion in Section 6 depends on them.
+	Upgrades [coherence.NumCategories]uint64
+}
+
+// Count records one miss.
+func (m *MissTable) Count(instruction bool, cat coherence.Category) {
+	if instruction {
+		m.I[cat]++
+	} else {
+		m.D[cat]++
+	}
+}
+
+// CountUpgrade records one upgrade.
+func (m *MissTable) CountUpgrade(cat coherence.Category) { m.Upgrades[cat]++ }
+
+// ITotal returns all instruction misses.
+func (m *MissTable) ITotal() uint64 { return sum(m.I[:]) }
+
+// DTotal returns all data misses.
+func (m *MissTable) DTotal() uint64 { return sum(m.D[:]) }
+
+// Total returns all misses (excluding upgrades, as the paper plots).
+func (m *MissTable) Total() uint64 { return m.ITotal() + m.DTotal() }
+
+// Local returns misses serviced locally (including RAC hits).
+func (m *MissTable) Local() uint64 {
+	return m.I[coherence.CatLocal] + m.D[coherence.CatLocal]
+}
+
+// RemoteClean returns 2-hop misses.
+func (m *MissTable) RemoteClean() uint64 {
+	return m.I[coherence.CatRemoteClean] + m.D[coherence.CatRemoteClean]
+}
+
+// RemoteDirty returns 3-hop misses (L2- and RAC-sourced).
+func (m *MissTable) RemoteDirty() uint64 {
+	return m.I[coherence.CatRemoteDirty] + m.I[coherence.CatRemoteDirtyRAC] +
+		m.D[coherence.CatRemoteDirty] + m.D[coherence.CatRemoteDirtyRAC]
+}
+
+// UpgradeTotal returns all upgrades.
+func (m *MissTable) UpgradeTotal() uint64 { return sum(m.Upgrades[:]) }
+
+// Add accumulates other into m.
+func (m *MissTable) Add(other *MissTable) {
+	for i := range m.I {
+		m.I[i] += other.I[i]
+		m.D[i] += other.D[i]
+		m.Upgrades[i] += other.Upgrades[i]
+	}
+	m.RACHitsI += other.RACHitsI
+	m.RACHitsD += other.RACHitsD
+}
+
+func sum(v []uint64) uint64 {
+	var t uint64
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// RunResult is the outcome of one simulated configuration: what every
+// figure's bars are built from.
+type RunResult struct {
+	// Name labels the configuration (bar label in the figures).
+	Name string
+	// Txns is the number of committed transactions measured.
+	Txns uint64
+	// Breakdown is the execution-time decomposition summed over CPUs.
+	Breakdown cpu.Breakdown
+	// Miss is the L2 miss table summed over CPUs.
+	Miss MissTable
+
+	// Protocol and structure counters.
+	Invalidations  uint64
+	Writebacks     uint64
+	Stores         uint64 // store references issued (for invalidation rate)
+	WriteInvalOps  uint64 // write/upgrade transactions that sent >=1 invalidation
+	RACProbes      uint64
+	RACHits        uint64
+	L1IMissRate    float64
+	L1DMissRate    float64
+	L2Accesses     uint64
+	KernelFraction float64
+	Utilization    float64 // busy / non-idle
+	IdleCycles     uint64
+}
+
+// CyclesPerTxn is the figure metric: non-idle cycles per committed
+// transaction (Fig. 12 explicitly uses non-idle execution time).
+func (r *RunResult) CyclesPerTxn() float64 {
+	if r.Txns == 0 {
+		return 0
+	}
+	return float64(r.Breakdown.NonIdle()) / float64(r.Txns)
+}
+
+// MissesPerTxn normalizes the miss count.
+func (r *RunResult) MissesPerTxn() float64 {
+	if r.Txns == 0 {
+		return 0
+	}
+	return float64(r.Miss.Total()) / float64(r.Txns)
+}
+
+// InvalPerStore is the Section 6 invalidation rate ("about 1 in 6 without a
+// RAC, and about 1 in 3 with a RAC"): write transactions that invalidated at
+// least one other cache, per store-driven coherence operation.
+func (r *RunResult) InvalPerStore() float64 {
+	if r.Stores == 0 {
+		return 0
+	}
+	return float64(r.WriteInvalOps) / float64(r.Stores)
+}
+
+// RACHitRate returns the RAC hit rate.
+func (r *RunResult) RACHitRate() float64 {
+	if r.RACProbes == 0 {
+		return 0
+	}
+	return float64(r.RACHits) / float64(r.RACProbes)
+}
+
+// Speedup returns base/this in cycles per transaction (how many times
+// faster this configuration is than base).
+func (r *RunResult) Speedup(base *RunResult) float64 {
+	if r.CyclesPerTxn() == 0 {
+		return 0
+	}
+	return base.CyclesPerTxn() / r.CyclesPerTxn()
+}
+
+// fmtPct formats a fraction as a percentage.
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// Summary renders one result as a multi-line report.
+func (r *RunResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8.0f cycles/txn  (%d txns)\n", r.Name, r.CyclesPerTxn(), r.Txns)
+	nd := r.Breakdown.NonIdle()
+	if nd > 0 {
+		fmt.Fprintf(&b, "  breakdown: CPU %s  L2Hit %s  Local %s  Remote %s  Dirty %s\n",
+			fmtPct(float64(r.Breakdown.Busy)/float64(nd)),
+			fmtPct(float64(r.Breakdown.L2Hit)/float64(nd)),
+			fmtPct(float64(r.Breakdown.Local)/float64(nd)),
+			fmtPct(float64(r.Breakdown.Remote)/float64(nd)),
+			fmtPct(float64(r.Breakdown.RemoteDirty)/float64(nd)))
+	}
+	fmt.Fprintf(&b, "  L2 misses/txn: %.1f (I %.1f, D %.1f; local %d, 2-hop %d, 3-hop %d)\n",
+		r.MissesPerTxn(),
+		safeDiv(r.Miss.ITotal(), r.Txns), safeDiv(r.Miss.DTotal(), r.Txns),
+		r.Miss.Local(), r.Miss.RemoteClean(), r.Miss.RemoteDirty())
+	fmt.Fprintf(&b, "  kernel %s  utilization %s  idle %d\n",
+		fmtPct(r.KernelFraction), fmtPct(r.Utilization), r.IdleCycles)
+	return b.String()
+}
+
+func safeDiv(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

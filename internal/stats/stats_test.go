@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"oltpsim/internal/coherence"
+	"oltpsim/internal/cpu"
+)
+
+func TestMissTableCounting(t *testing.T) {
+	var m MissTable
+	m.Count(true, coherence.CatLocal)
+	m.Count(true, coherence.CatRemoteClean)
+	m.Count(false, coherence.CatRemoteDirty)
+	m.Count(false, coherence.CatRemoteDirtyRAC)
+	m.CountUpgrade(coherence.CatRemoteClean)
+
+	if m.ITotal() != 2 || m.DTotal() != 2 || m.Total() != 4 {
+		t.Fatalf("totals I=%d D=%d", m.ITotal(), m.DTotal())
+	}
+	if m.Local() != 1 || m.RemoteClean() != 1 || m.RemoteDirty() != 2 {
+		t.Fatalf("categories %d/%d/%d", m.Local(), m.RemoteClean(), m.RemoteDirty())
+	}
+	if m.UpgradeTotal() != 1 {
+		t.Fatalf("upgrades %d", m.UpgradeTotal())
+	}
+}
+
+func TestMissTableAdd(t *testing.T) {
+	var a, b MissTable
+	a.Count(true, coherence.CatLocal)
+	b.Count(false, coherence.CatRemoteDirty)
+	b.RACHitsD = 3
+	a.Add(&b)
+	if a.Total() != 2 || a.RACHitsD != 3 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+}
+
+func mkResult(cyclesPerTxn uint64, txns uint64) RunResult {
+	r := RunResult{Name: "t", Txns: txns}
+	r.Breakdown = cpu.Breakdown{Busy: cyclesPerTxn * txns}
+	return r
+}
+
+func TestCyclesPerTxn(t *testing.T) {
+	r := mkResult(1000, 50)
+	if r.CyclesPerTxn() != 1000 {
+		t.Fatalf("cycles/txn %v", r.CyclesPerTxn())
+	}
+	empty := RunResult{}
+	if empty.CyclesPerTxn() != 0 || empty.MissesPerTxn() != 0 {
+		t.Fatal("zero-txn result not guarded")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := mkResult(1400, 10)
+	fast := mkResult(1000, 10)
+	if s := fast.Speedup(&base); s < 1.39 || s > 1.41 {
+		t.Fatalf("speedup %v", s)
+	}
+}
+
+func TestInvalPerStore(t *testing.T) {
+	r := RunResult{Stores: 600, WriteInvalOps: 100}
+	if got := r.InvalPerStore(); got < 0.166 || got > 0.167 {
+		t.Fatalf("inval/store %v, want ~1/6", got)
+	}
+	if (&RunResult{}).InvalPerStore() != 0 {
+		t.Fatal("zero stores not guarded")
+	}
+}
+
+func TestRACHitRate(t *testing.T) {
+	r := RunResult{RACProbes: 100, RACHits: 42}
+	if r.RACHitRate() != 0.42 {
+		t.Fatalf("hit rate %v", r.RACHitRate())
+	}
+}
+
+func TestSummaryContainsEssentials(t *testing.T) {
+	r := mkResult(1000, 10)
+	r.Miss.Count(false, coherence.CatRemoteDirty)
+	s := r.Summary()
+	for _, want := range []string{"cycles/txn", "breakdown", "L2 misses", "kernel"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package tpcb
+
+import "oltpsim/internal/memref"
+
+// InstrsPerLine is the number of 4-byte instructions in a 64-byte line.
+const InstrsPerLine = 16
+
+// CodeFn models one function (or module) of the database engine or kernel:
+// a contiguous instruction region walked on each invocation. Together the
+// functions form the large, skewed instruction footprint that is a defining
+// property of OLTP (paper Section 1: "large instruction and data
+// footprints... that overwhelm the first-level caches").
+type CodeFn struct {
+	// Name identifies the function in diagnostics.
+	Name string
+	// Base is the simulated address of the first instruction line.
+	Base uint64
+	// SizeLines is the region size in cache lines.
+	SizeLines int
+	// PathInstrs is the dynamic instruction count of one invocation.
+	PathInstrs int
+	// Loopy selects the walk mode. Loopy functions restart near Base each
+	// call (tight loops: latch spins, redo copy, index probes) and therefore
+	// have high instruction-cache reuse. Non-loopy functions resume where
+	// the previous call left off, cycling through the whole region over many
+	// calls (large multi-path modules: SQL execution, parse), which is what
+	// spreads the instruction footprint.
+	Loopy bool
+	// Stride, for loopy functions, drifts the entry point by this many lines
+	// per call, modelling the branch-path diversity inside a hot module: the
+	// loop body stays cached while its surroundings slowly rotate through
+	// the instruction cache.
+	Stride int
+	// Kernel marks operating-system code (attribution of kernel time).
+	Kernel bool
+
+	pos int // persistent walk cursor for non-loopy functions
+}
+
+// Lines returns the fetch line addresses of one invocation in order, calling
+// visit for each, and advances the persistent cursor. The emitter uses this
+// to produce IFetch refs.
+func (f *CodeFn) Lines(visit func(addr uint64, instrs int)) {
+	n := (f.PathInstrs + InstrsPerLine - 1) / InstrsPerLine
+	start := f.pos
+	remaining := f.PathInstrs
+	for i := 0; i < n; i++ {
+		line := (start + i) % f.SizeLines
+		instrs := InstrsPerLine
+		if remaining < InstrsPerLine {
+			instrs = remaining
+		}
+		remaining -= instrs
+		visit(f.Base+uint64(line)*memref.LineBytes, instrs)
+	}
+	f.Advance()
+}
+
+// Advance moves the persistent cursor as one invocation would. Emitters that
+// synthesize fetches themselves (CountingEmitter) call it directly.
+func (f *CodeFn) Advance() {
+	if f.Loopy {
+		f.pos = (f.pos + f.Stride) % f.SizeLines
+		return
+	}
+	n := (f.PathInstrs + InstrsPerLine - 1) / InstrsPerLine
+	f.pos = (f.pos + n) % f.SizeLines
+}
+
+// SizeBytes returns the code region size in bytes.
+func (f *CodeFn) SizeBytes() uint64 { return uint64(f.SizeLines) * memref.LineBytes }
+
+// codeSpec declares one function before allocation.
+type codeSpec struct {
+	name   string
+	sizeKB int
+	path   int
+	loopy  bool
+	stride int
+}
+
+// ServerCode is the engine's instruction footprint: the Oracle-like server
+// code paths invoked per transaction. Sizes are chosen so the hot server
+// text totals ~560 KB, which together with kernel text (~160 KB, owned by
+// the harness) reproduces the paper's observation that the instruction
+// footprint overwhelms 64 KB L1 caches yet is captured by a 2 MB associative
+// L2.
+type ServerCode struct {
+	SQLPrep    *CodeFn // cursor open / soft parse
+	SQLExec    *CodeFn // statement execution driver
+	IdxLookup  *CodeFn // hash-index probe
+	BufGet     *CodeFn // buffer cache get (cache buffers chains)
+	BufRepl    *CodeFn // buffer replacement / LRU maintenance
+	RowUpdate  *CodeFn // row locking + update
+	RowInsert  *CodeFn // history insert
+	UndoWrite  *CodeFn // rollback segment record
+	RedoGen    *CodeFn // redo record construction
+	RedoCopy   *CodeFn // redo copy into log buffer (under latch)
+	LatchAcq   *CodeFn // latch acquire/release
+	TxnCommit  *CodeFn // commit processing
+	TxnCleanup *CodeFn // post-commit cleanup, unpins
+	LgwrMain   *CodeFn // log writer gather/write loop
+	DbwrMain   *CodeFn // database writer scan loop
+	All        []*CodeFn
+}
+
+// newServerCode allocates the code regions through alloc.
+func newServerCode(alloc Allocator) *ServerCode {
+	specs := []codeSpec{
+		{"sql_prep", 64, 400, false, 0},
+		{"sql_exec", 80, 330, false, 0},
+		{"idx_lookup", 24, 130, true, 3},
+		{"buf_get", 32, 150, true, 5},
+		{"buf_repl", 24, 180, true, 0},
+		{"row_update", 48, 200, false, 0},
+		{"row_insert", 32, 180, false, 0},
+		{"undo_write", 24, 110, true, 4},
+		{"redo_gen", 32, 160, true, 5},
+		{"redo_copy", 16, 90, true, 2},
+		{"latch", 8, 32, true, 1},
+		{"txn_commit", 32, 250, false, 0},
+		{"txn_cleanup", 32, 210, false, 0},
+		{"lgwr_main", 24, 230, true, 4},
+		{"dbwr_main", 24, 190, true, 4},
+	}
+	fns := make([]*CodeFn, len(specs))
+	for i, s := range specs {
+		size := uint64(s.sizeKB) << 10
+		base := alloc.Alloc("code."+s.name, size, KindCode)
+		fns[i] = &CodeFn{
+			Name:       s.name,
+			Base:       base,
+			SizeLines:  int(size / memref.LineBytes),
+			PathInstrs: s.path,
+			Loopy:      s.loopy,
+			Stride:     s.stride,
+		}
+	}
+	sc := &ServerCode{
+		SQLPrep: fns[0], SQLExec: fns[1], IdxLookup: fns[2], BufGet: fns[3],
+		BufRepl: fns[4], RowUpdate: fns[5], RowInsert: fns[6], UndoWrite: fns[7],
+		RedoGen: fns[8], RedoCopy: fns[9], LatchAcq: fns[10], TxnCommit: fns[11],
+		TxnCleanup: fns[12], LgwrMain: fns[13], DbwrMain: fns[14],
+	}
+	sc.All = fns
+	return sc
+}
+
+// TotalBytes sums the server code footprint.
+func (s *ServerCode) TotalBytes() uint64 {
+	var n uint64
+	for _, f := range s.All {
+		n += f.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+// Package tpcb implements a functional miniature OLTP database engine that
+// executes TPC-B transactions (paper Section 2.1) while emitting the memory
+// references the execution would perform, into a simulated address space.
+//
+// The engine stands in for Oracle 7.3.2: it has a block buffer cache with
+// hash lookup and LRU replacement, buffer-header pins, cache-buffers-chains
+// latches, a circular redo log buffer with a redo-allocation latch and group
+// commit, undo (rollback) segments, and log-writer / database-writer daemon
+// operations. Those are exactly the structures whose sharing behaviour
+// produces the communication misses the paper measures: buffer headers and
+// branch/teller rows migrate between processors (3-hop misses), the redo
+// allocation latch is a migratory hot line, the log writer pulls every redo
+// line from the cache that wrote it, and the enormous mostly-cold account
+// table supplies the capacity/cold miss tail.
+//
+// The engine is genuinely functional — balances update and the TPC-B
+// consistency conditions hold — so tests can assert correctness, and the
+// reference stream is produced by real executions rather than a synthetic
+// statistical model.
+package tpcb
+
+import "fmt"
+
+// Config sizes the database and its engine structures. Defaults reproduce
+// the paper's setup: a TPC-B database with 40 branches and an SGA over
+// 900 MB of which >100 MB is metadata.
+type Config struct {
+	// Branches is the TPC-B scale factor (paper: 40).
+	Branches int
+	// TellersPerBranch is 10 per the TPC-B specification.
+	TellersPerBranch int
+	// AccountsPerBranch is 100,000 per the TPC-B specification.
+	AccountsPerBranch int
+
+	// BlockBytes is the database block size (8 KB, Oracle's typical size and
+	// the Alpha page size).
+	BlockBytes int
+	// AccountsPerBlock controls row packing for the account table
+	// (~100-byte rows => 80 rows per 8 KB block).
+	AccountsPerBlock int
+	// TellersPerBlock packs teller rows (20 per block).
+	TellersPerBlock int
+	// BranchesPerBlock is 1: the classic TPC-B tuning that gives each
+	// branch row a private block to reduce (but not eliminate) contention.
+	BranchesPerBlock int
+	// HistoryRowsPerBlock packs ~160-byte history rows (48 per block).
+	HistoryRowsPerBlock int
+
+	// BufferFrames is the number of block buffers in the SGA block buffer
+	// area. The default gives ~790 MB of cached blocks, comfortably holding
+	// the whole database, matching the paper's steady state where block
+	// reads rarely go to disk.
+	BufferFrames int
+	// HashBuckets is the number of cache-buffers-chains hash buckets.
+	HashBuckets int
+	// CBCLatches is the number of cache-buffers-chains latches protecting
+	// those buckets.
+	CBCLatches int
+
+	// LogBufferBytes is the circular redo log buffer size (1 MB).
+	LogBufferBytes int
+	// RedoPerUpdate is the redo payload bytes generated per row update.
+	RedoPerUpdate int
+
+	// UndoSegments is the number of rollback segments; sessions are assigned
+	// round-robin, so concurrent transactions write different undo blocks.
+	UndoSegments int
+	// UndoBlocksPerSegment is the recycled window of blocks per segment.
+	UndoBlocksPerSegment int
+
+	// HistoryInsertSlots is the number of free-list insert points for the
+	// history table; concurrent inserters rotate among them.
+	HistoryInsertSlots int
+	// HistoryWindowBlocks is the recycled window of history blocks (the
+	// simulated steady state where old history has been checkpointed out).
+	HistoryWindowBlocks int
+
+	// SharedPoolBytes sizes the library-cache / cursor region of the SGA
+	// metadata area; executions read skewed portions of it.
+	SharedPoolBytes int
+	// CursorHotLines is the per-statement hot cursor footprint in lines.
+	CursorHotLines int
+
+	// PGABytes is the per-process private memory (session heap, redo
+	// scratch, sort area slices).
+	PGABytes int
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Branches:             40,
+		TellersPerBranch:     10,
+		AccountsPerBranch:    100_000,
+		BlockBytes:           8192,
+		AccountsPerBlock:     80,
+		TellersPerBlock:      20,
+		BranchesPerBlock:     1,
+		HistoryRowsPerBlock:  48,
+		BufferFrames:         101_000,
+		HashBuckets:          8192,
+		CBCLatches:           512,
+		LogBufferBytes:       384 << 10,
+		RedoPerUpdate:        144,
+		UndoSegments:         8,
+		UndoBlocksPerSegment: 4,
+		HistoryInsertSlots:   4,
+		HistoryWindowBlocks:  1024,
+		SharedPoolBytes:      96 << 20,
+		CursorHotLines:       24,
+		PGABytes:             1 << 20,
+	}
+}
+
+// SmallConfig returns a scaled-down database for fast unit tests. The engine
+// logic is identical; only the table sizes shrink.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.Branches = 4
+	c.AccountsPerBranch = 1000
+	c.BufferFrames = 2048
+	c.HashBuckets = 512
+	c.CBCLatches = 32
+	c.UndoSegments = 4
+	c.HistoryWindowBlocks = 64
+	c.SharedPoolBytes = 4 << 20
+	return c
+}
+
+// Tellers returns the total teller count.
+func (c Config) Tellers() int { return c.Branches * c.TellersPerBranch }
+
+// Accounts returns the total account count.
+func (c Config) Accounts() int { return c.Branches * c.AccountsPerBranch }
+
+// BranchBlocks returns the number of blocks holding branch rows.
+func (c Config) BranchBlocks() int {
+	return (c.Branches + c.BranchesPerBlock - 1) / c.BranchesPerBlock
+}
+
+// TellerBlocks returns the number of blocks holding teller rows.
+func (c Config) TellerBlocks() int {
+	return (c.Tellers() + c.TellersPerBlock - 1) / c.TellersPerBlock
+}
+
+// AccountBlocks returns the number of blocks holding account rows.
+func (c Config) AccountBlocks() int {
+	return (c.Accounts() + c.AccountsPerBlock - 1) / c.AccountsPerBlock
+}
+
+// UndoBlocks returns the total undo block count.
+func (c Config) UndoBlocks() int { return c.UndoSegments * c.UndoBlocksPerSegment }
+
+// TotalBlocks returns the number of distinct database blocks the engine can
+// reference (branch + teller + account + history window + undo).
+func (c Config) TotalBlocks() int {
+	return c.BranchBlocks() + c.TellerBlocks() + c.AccountBlocks() +
+		c.HistoryWindowBlocks + c.UndoBlocks()
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Branches <= 0:
+		return fmt.Errorf("tpcb: Branches must be positive, got %d", c.Branches)
+	case c.TellersPerBranch <= 0 || c.AccountsPerBranch <= 0:
+		return fmt.Errorf("tpcb: tellers/accounts per branch must be positive")
+	case c.BlockBytes <= 0 || c.BlockBytes%64 != 0:
+		return fmt.Errorf("tpcb: BlockBytes %d must be a positive multiple of the line size", c.BlockBytes)
+	case c.AccountsPerBlock <= 0 || c.TellersPerBlock <= 0 || c.BranchesPerBlock <= 0 || c.HistoryRowsPerBlock <= 0:
+		return fmt.Errorf("tpcb: row packing factors must be positive")
+	case c.BufferFrames < c.TotalBlocks():
+		return fmt.Errorf("tpcb: BufferFrames %d cannot hold the %d database blocks (the paper's SGA holds the whole database in steady state)",
+			c.BufferFrames, c.TotalBlocks())
+	case c.HashBuckets <= 0 || c.CBCLatches <= 0:
+		return fmt.Errorf("tpcb: hash buckets and latches must be positive")
+	case c.LogBufferBytes < 4096:
+		return fmt.Errorf("tpcb: LogBufferBytes %d too small", c.LogBufferBytes)
+	case c.UndoSegments <= 0 || c.UndoBlocksPerSegment <= 0:
+		return fmt.Errorf("tpcb: undo configuration must be positive")
+	case c.HistoryInsertSlots <= 0 || c.HistoryWindowBlocks < c.HistoryInsertSlots:
+		return fmt.Errorf("tpcb: history window must cover the insert slots")
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package tpcb
+
+// Emitter receives the memory references the engine performs. The simulation
+// harness implements it to feed the timing models; NopEmitter lets the engine
+// run purely functionally (cmd/tpcb).
+type Emitter interface {
+	// Code emits the instruction fetches for one invocation of fn.
+	Code(fn *CodeFn)
+	// Load emits a data read of addr. dep marks address-generation
+	// dependence on the immediately preceding data access (pointer chasing).
+	Load(addr uint64, dep bool)
+	// Store emits a data write of addr.
+	Store(addr uint64, dep bool)
+}
+
+// NopEmitter discards all references; the engine then runs as a plain
+// in-memory database.
+type NopEmitter struct{}
+
+// Code implements Emitter.
+func (NopEmitter) Code(*CodeFn) {}
+
+// Load implements Emitter.
+func (NopEmitter) Load(uint64, bool) {}
+
+// Store implements Emitter.
+func (NopEmitter) Store(uint64, bool) {}
+
+// CountingEmitter tallies references by type; tests use it to assert the
+// shape of the stream without a full simulator.
+type CountingEmitter struct {
+	Calls  uint64 // Code invocations
+	Instrs uint64 // instructions implied by Code invocations
+	Loads  uint64
+	Stores uint64
+}
+
+// Code implements Emitter.
+func (c *CountingEmitter) Code(fn *CodeFn) {
+	c.Calls++
+	c.Instrs += uint64(fn.PathInstrs)
+	fn.Advance()
+}
+
+// Load implements Emitter.
+func (c *CountingEmitter) Load(uint64, bool) { c.Loads++ }
+
+// Store implements Emitter.
+func (c *CountingEmitter) Store(uint64, bool) { c.Stores++ }
+
+// RegionKind tells the allocator what placement policy a region needs.
+type RegionKind uint8
+
+const (
+	// KindShared: SGA-like shared data, round-robin page placement.
+	KindShared RegionKind = iota
+	// KindCode: instruction region (subject to the replication experiment).
+	KindCode
+)
+
+// Allocator hands out simulated addresses for the engine's structures and
+// registers them with the machine's address space. Returned bases are always
+// line-aligned.
+type Allocator interface {
+	Alloc(name string, size uint64, kind RegionKind) uint64
+}
+
+// BumpAllocator is a trivial Allocator for functional runs and tests: it
+// lays regions out contiguously from a base address.
+type BumpAllocator struct {
+	Next uint64
+}
+
+// Alloc implements Allocator.
+func (b *BumpAllocator) Alloc(name string, size uint64, kind RegionKind) uint64 {
+	const align = 1 << 13
+	b.Next = (b.Next + align - 1) &^ (align - 1)
+	base := b.Next
+	b.Next += size
+	return base
+}

@@ -1,0 +1,77 @@
+package tpcb
+
+import "oltpsim/internal/memref"
+
+// LatchTable models the SGA's latch array: one latch per cache line (real
+// latches are padded to a line precisely to avoid false sharing). Latches
+// are the purest migratory-sharing objects in the workload: every acquire
+// performs a read-modify-write of the latch line, so whichever processor
+// last held a hot latch (the redo allocation latch above all) donates a
+// 3-hop dirty miss to the next acquirer.
+//
+// The simulation emits the accesses but does not block on conflicts: the
+// paper's results are memory-system effects, and latch hold times in a tuned
+// OLTP system are far shorter than the scheduling quantum.
+type LatchTable struct {
+	em   Emitter
+	code *ServerCode
+	base uint64
+	n    int
+
+	// Acquires counts total latch acquisitions, for the workload-shape
+	// tests.
+	Acquires uint64
+}
+
+// Latch identifiers. The named singletons come first; the cache-buffers-
+// chains latches occupy the tail of the table.
+const (
+	latchRedoAlloc = 0
+	latchRedoCopy0 = 1 // 4 redo copy latches
+	numRedoCopy    = 4
+	latchLRU0      = latchRedoCopy0 + numRedoCopy // 8 LRU latches
+	numLRU         = 8
+	latchDML0      = latchLRU0 + numLRU // 4 DML lock latches
+	numDML         = 4
+	latchCBC0      = latchDML0 + numDML // CBC latches follow
+)
+
+// latchStride scatters latches across pages (and cache sets): in a real SGA
+// the hot latches live inside the structures they protect, spread over the
+// whole shared region, so their NUMA homes are distributed — not packed
+// into the first page of a dedicated array.
+const latchStride = memref.PageBytes + 3*memref.LineBytes
+
+func newLatchTable(alloc Allocator, em Emitter, code *ServerCode, cbcLatches int) *LatchTable {
+	n := latchCBC0 + cbcLatches
+	base := alloc.Alloc("sga.latches", uint64(n)*latchStride+memref.PageBytes, KindShared)
+	return &LatchTable{em: em, code: code, base: base, n: n}
+}
+
+func (lt *LatchTable) addr(i int) uint64 {
+	if i < 0 || i >= lt.n {
+		panic("tpcb: latch index out of range")
+	}
+	return lt.base + uint64(i)*latchStride
+}
+
+// Acquire emits one latch acquisition: the latch code path plus the
+// test-and-set of the latch line. The atomic RMW issues as a single
+// read-exclusive transaction (a store in the protocol's terms), so grabbing
+// a latch held last by another processor is one 3-hop ownership transfer,
+// not a read miss followed by an upgrade.
+func (lt *LatchTable) Acquire(i int) {
+	lt.Acquires++
+	lt.em.Code(lt.code.LatchAcq)
+	lt.em.Store(lt.addr(i), false)
+}
+
+// Release emits the latch release store.
+func (lt *LatchTable) Release(i int) {
+	lt.em.Store(lt.addr(i), false)
+}
+
+// CBC returns the cache-buffers-chains latch protecting bucket.
+func (lt *LatchTable) CBC(bucket, cbcLatches int) int {
+	return latchCBC0 + bucket%cbcLatches
+}

@@ -1,0 +1,139 @@
+package tpcb
+
+import (
+	"testing"
+
+	"oltpsim/internal/sim"
+)
+
+func newTestPool(frames int) (*BufferPool, *Config) {
+	cfg := SmallConfig()
+	cfg.BufferFrames = frames
+	alloc := &BumpAllocator{}
+	code := newServerCode(alloc)
+	lt := newLatchTable(alloc, NopEmitter{}, code, cfg.CBCLatches)
+	return newBufferPool(&cfg, alloc, NopEmitter{}, code, lt), &cfg
+}
+
+func TestPoolGetMissAndHit(t *testing.T) {
+	p, _ := newTestPool(64)
+	f1, missed := p.Get(7)
+	if !missed {
+		t.Fatal("first get did not miss")
+	}
+	f2, missed := p.Get(7)
+	if missed || f2 != f1 {
+		t.Fatalf("second get: missed=%v frame %d vs %d", missed, f2, f1)
+	}
+	if p.Stats.Gets != 2 || p.Stats.Misses != 1 {
+		t.Fatalf("stats %+v", p.Stats)
+	}
+	if err := p.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolEvictionLRU(t *testing.T) {
+	p, _ := newTestPool(4)
+	for b := int32(0); b < 4; b++ {
+		p.Get(b)
+	}
+	p.Get(0) // refresh block 0
+	p.Get(9) // must evict block 1 (LRU)
+	if _, missed := p.Get(0); missed {
+		t.Fatal("block 0 evicted despite being MRU")
+	}
+	if _, missed := p.Get(1); !missed {
+		t.Fatal("block 1 not evicted")
+	}
+	if p.Stats.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if err := p.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolEvictDirtyVictim(t *testing.T) {
+	p, _ := newTestPool(2)
+	f, _ := p.Get(0)
+	p.MarkDirty(f)
+	p.Get(1)
+	p.Get(2) // evicts one of them, possibly the dirty frame
+	if err := p.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDirtyQueueDedup(t *testing.T) {
+	p, _ := newTestPool(16)
+	f, _ := p.Get(3)
+	p.MarkDirty(f)
+	p.MarkDirty(f) // second mark must not enqueue twice
+	if p.DirtyBacklog() != 1 {
+		t.Fatalf("backlog %d, want 1", p.DirtyBacklog())
+	}
+	got := p.PopDirty(8)
+	if len(got) != 1 || got[0] != f {
+		t.Fatalf("popped %v", got)
+	}
+	p.Clean(f)
+	if p.Stats.Cleaned != 1 {
+		t.Fatalf("cleaned %d", p.Stats.Cleaned)
+	}
+	// Re-dirty after clean requeues.
+	p.MarkDirty(f)
+	if p.DirtyBacklog() != 1 {
+		t.Fatal("re-dirty did not requeue")
+	}
+}
+
+func TestPoolPopDirtySkipsCleaned(t *testing.T) {
+	p, _ := newTestPool(16)
+	f1, _ := p.Get(1)
+	f2, _ := p.Get(2)
+	p.MarkDirty(f1)
+	p.MarkDirty(f2)
+	p.Clean(f1) // cleaned before DBWR pops it
+	got := p.PopDirty(8)
+	if len(got) != 1 || got[0] != f2 {
+		t.Fatalf("PopDirty returned %v, want only frame %d", got, f2)
+	}
+}
+
+func TestPoolPrewarmOverflowPanics(t *testing.T) {
+	p, _ := newTestPool(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("prewarm beyond capacity did not panic")
+		}
+	}()
+	p.Prewarm(5)
+}
+
+func TestPoolConsistencyUnderChurn(t *testing.T) {
+	p, _ := newTestPool(8)
+	r := sim.NewRNG(4)
+	for i := 0; i < 5000; i++ {
+		f, _ := p.Get(int32(r.Intn(64)))
+		if r.Bool(0.3) {
+			p.MarkDirty(f)
+		}
+		if r.Bool(0.1) {
+			for _, df := range p.PopDirty(4) {
+				p.Clean(df)
+			}
+		}
+	}
+	if err := p.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineCheckIncludesPool(t *testing.T) {
+	e := newTestEngine(t, NopEmitter{})
+	runTxns(e, 100, 31)
+	if err := e.Pool().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package oltpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickRun exercises the public API end to end at the smallest
+// scale: configure, run, inspect.
+func TestFacadeQuickRun(t *testing.T) {
+	opt := QuickOptions()
+	opt.WarmupTxns, opt.MeasureTxns = 100, 200
+
+	base := opt.Run(BaseConfig(1, 8*MB, 1))
+	full := opt.Run(IntegratedL2Config(1, 2*MB, 8, OnChipSRAM))
+	if full.CyclesPerTxn() >= base.CyclesPerTxn() {
+		t.Fatalf("integrated L2 (%0.f) not faster than base (%.0f)",
+			full.CyclesPerTxn(), base.CyclesPerTxn())
+	}
+	if !strings.Contains(base.Summary(), "cycles/txn") {
+		t.Fatal("summary malformed")
+	}
+}
+
+// TestFacadeLatencyTable checks the re-exported latency entry points.
+func TestFacadeLatencyTable(t *testing.T) {
+	if got := Latencies(FullIntegration, 8, OnChipSRAM); got.L2Hit != 15 || got.RemoteDirty != 200 {
+		t.Fatalf("full-integration latencies %+v", got)
+	}
+	if len(FigureThree()) != 7 {
+		t.Fatal("FigureThree row count")
+	}
+	m := DefaultCrossingModel()
+	if m.Derive(Base, 1, OffChipSRAM) != Latencies(Base, 1, OffChipSRAM) {
+		t.Fatal("crossing model diverges from table")
+	}
+}
+
+// TestFacadeCustomSystem assembles a system through the exported
+// constructors rather than the experiment runner.
+func TestFacadeCustomSystem(t *testing.T) {
+	opt := QuickOptions()
+	cfg := FullIntegrationConfig(2, 2*MB, 8)
+	w, err := NewWorkload(opt.Params(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(20, 50)
+	if res.Txns < 50 {
+		t.Fatalf("measured %d txns", res.Txns)
+	}
+}
+
+// TestFacadeFigureRunner runs the smallest figure end to end through the
+// public API.
+func TestFacadeFigureRunner(t *testing.T) {
+	opt := QuickOptions()
+	opt.WarmupTxns, opt.MeasureTxns = 80, 150
+	fig := Fig12Large(opt)
+	if len(fig.Bars) != 2 {
+		t.Fatalf("figure has %d bars", len(fig.Bars))
+	}
+	if fig.RenderExec() == "" {
+		t.Fatal("empty rendering")
+	}
+}
