@@ -147,6 +147,28 @@ func BenchmarkMissClassification(b *testing.B) {
 	}
 }
 
+// --- Runner benchmarks: serial vs. parallel figure regeneration -------------
+
+// benchRunnerWorkers times one multi-bar figure (the 9-bar Figure 5 sweep)
+// with a fixed worker-pool width; compare the Serial and Parallel variants
+// with benchstat to see the fan-out speedup on your host.
+func benchRunnerWorkers(b *testing.B, workers int) {
+	o := benchOptions(b)
+	o.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig05(o)
+	}
+}
+
+// BenchmarkRunnerSerial runs the Figure 5 sweep one bar at a time.
+func BenchmarkRunnerSerial(b *testing.B) { benchRunnerWorkers(b, 1) }
+
+// BenchmarkRunnerParallel runs the same sweep across GOMAXPROCS workers; the
+// results are bit-identical to the serial run (TestParallelMatchesSerial),
+// only the wall clock differs.
+func BenchmarkRunnerParallel(b *testing.B) { benchRunnerWorkers(b, 0) }
+
 // --- Ablation benchmarks: design choices DESIGN.md calls out ---------------
 
 // BenchmarkAblationMigratory measures the migratory-sharing optimization's

@@ -2,16 +2,26 @@
 // prints its normalized execution-time breakdown and (where the paper shows
 // one) its normalized L2 miss breakdown, in the same bar order as the paper.
 //
-//	figures            # all figures, paper-fidelity protocol (~minutes)
+//	figures            # all figures, paper-fidelity protocol
 //	figures -quick     # scaled-down database, short runs
 //	figures -fig 7     # just Figure 7
+//	figures -parallel  # run whole figures concurrently (GOMAXPROCS workers)
+//	figures -j 4       # same, with an explicit worker count
+//
+// Within one figure the bars already fan out across a worker pool
+// (experiments.Options.Workers); -parallel/-j additionally runs the figure
+// runners themselves concurrently, buffering each figure's rendered report
+// so interleaved goroutines never corrupt the output. Results are
+// bit-identical to a serial run and print in the paper's order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"oltpsim/internal/core"
 	"oltpsim/internal/experiments"
@@ -19,24 +29,56 @@ import (
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "scaled-down database and short runs")
-		fig     = flag.String("fig", "all", "which figure: 3,5,6,7,8,10,11,12,13 or all")
-		warmup  = flag.Uint64("warmup", 0, "override warmup transactions")
-		measure = flag.Uint64("txns", 0, "override measured transactions")
-		detail  = flag.Bool("detail", false, "print per-bar diagnostics")
-		compare = flag.Bool("compare", false, "score each figure against the paper's published values")
+		quick    = flag.Bool("quick", false, "scaled-down database and short runs")
+		fig      = flag.String("fig", "all", "which figure: 3,5,6,7,8,10,11,12,13 or all")
+		warmup   = flag.Int64("warmup", -1, "override warmup transactions (0 is honored; default: protocol value)")
+		measure  = flag.Int64("txns", -1, "override measured transactions (0 is honored; default: protocol value)")
+		detail   = flag.Bool("detail", false, "print per-bar diagnostics")
+		compare  = flag.Bool("compare", false, "score each figure against the paper's published values")
+		parallel = flag.Bool("parallel", false, "run figures concurrently (GOMAXPROCS workers)")
+		jobs     = flag.Int("j", 0, "concurrent figure runners (implies -parallel; 0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -j must be >= 0 (got %d)\n", *jobs)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	opt := experiments.DefaultOptions()
 	if *quick {
 		opt = experiments.QuickOptions()
 	}
-	if *warmup > 0 {
-		opt.WarmupTxns = *warmup
-	}
-	if *measure > 0 {
-		opt.MeasureTxns = *measure
+	// flag.Visit distinguishes "flag absent" from an explicit -warmup 0 /
+	// -txns 0, which are legitimate requests (e.g. measuring cold caches, or
+	// warmup-only runs) the old `> 0` guard silently ignored. Explicit
+	// negative values — including the -1 default — are usage errors.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "warmup":
+			if *warmup < 0 {
+				fmt.Fprintf(os.Stderr, "figures: -warmup must be >= 0 (got %d)\n", *warmup)
+				flag.Usage()
+				os.Exit(2)
+			}
+			opt.WarmupTxns = uint64(*warmup)
+		case "txns":
+			if *measure < 0 {
+				fmt.Fprintf(os.Stderr, "figures: -txns must be >= 0 (got %d)\n", *measure)
+				flag.Usage()
+				os.Exit(2)
+			}
+			opt.MeasureTxns = uint64(*measure)
+		}
+	})
+
+	figWorkers := 1
+	if *parallel || *jobs > 0 {
+		figWorkers = *jobs
+		if figWorkers == 0 {
+			figWorkers = runtime.GOMAXPROCS(0)
+		}
 	}
 
 	want := func(id string) bool { return *fig == "all" || *fig == id }
@@ -63,30 +105,70 @@ func main() {
 		{"13", experiments.Fig13Uni, false},
 		{"13", experiments.Fig13MP, false},
 	}
-	ran := false
+
+	var selected []runner
 	for _, r := range runners {
-		if !want(r.id) {
-			continue
+		if want(r.id) {
+			selected = append(selected, r)
 		}
-		ran = true
-		f := r.run(opt)
-		fmt.Println(f.RenderExec())
-		if r.misses {
-			fmt.Println(f.RenderMisses())
+	}
+	if len(selected) == 0 && !want("3") {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	// Each selected figure renders into its own buffer; reports print in
+	// presentation order once ready, so a fast later figure never interleaves
+	// with a slow earlier one.
+	reports := make([]string, len(selected))
+	render := func(i int) {
+		f := selected[i].run(opt)
+		var b strings.Builder
+		fmt.Fprintln(&b, f.RenderExec())
+		if selected[i].misses {
+			fmt.Fprintln(&b, f.RenderMisses())
 		}
 		if *detail {
-			fmt.Println(f.RenderDetail())
+			fmt.Fprintln(&b, f.RenderDetail())
 		}
 		if *compare {
 			if rows := experiments.Compare(&f); len(rows) > 0 {
-				fmt.Println(experiments.RenderComparison(rows))
+				fmt.Fprintln(&b, experiments.RenderComparison(rows))
 			}
 		}
-		fmt.Println(strings.Repeat("-", 72))
+		fmt.Fprintln(&b, strings.Repeat("-", 72))
+		reports[i] = b.String()
 	}
-	if !ran && !want("3") {
-		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
-		os.Exit(2)
+
+	if figWorkers <= 1 || len(selected) == 1 {
+		for i := range selected {
+			render(i)
+			fmt.Print(reports[i])
+		}
+		return
+	}
+
+	if figWorkers > len(selected) {
+		figWorkers = len(selected)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(figWorkers)
+	for g := 0; g < figWorkers; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				render(i)
+			}
+		}()
+	}
+	for i := range selected {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i := range reports {
+		fmt.Print(reports[i])
 	}
 }
 

@@ -20,21 +20,27 @@ func main() {
 
 	fmt.Println("OLTP uniprocessor, off-chip L2 organizations (misses per transaction):")
 	fmt.Printf("%10s %12s %12s\n", "size", "1-way", "4-way")
-	type row struct{ dm, a4 float64 }
+	// All eight organizations are independent; sweep them through the worker
+	// pool in one shot and read the results back in input order.
+	sizes := []int64{1, 2, 4, 8}
+	var cfgs []oltpsim.Config
+	for _, size := range sizes {
+		cfgs = append(cfgs,
+			oltpsim.BaseConfig(1, size*oltpsim.MB, 1),
+			oltpsim.BaseConfig(1, size*oltpsim.MB, 4))
+	}
+	results := opt.RunMany(cfgs)
 	var best4 float64
 	var dm8 float64
-	for _, size := range []int64{1, 2, 4, 8} {
-		r := row{}
-		res := opt.Run(oltpsim.BaseConfig(1, size*oltpsim.MB, 1))
-		r.dm = res.MissesPerTxn()
-		res = opt.Run(oltpsim.BaseConfig(1, size*oltpsim.MB, 4))
-		r.a4 = res.MissesPerTxn()
-		fmt.Printf("%9dM %12.1f %12.1f\n", size, r.dm, r.a4)
+	for i, size := range sizes {
+		dm := results[2*i].MissesPerTxn()
+		a4 := results[2*i+1].MissesPerTxn()
+		fmt.Printf("%9dM %12.1f %12.1f\n", size, dm, a4)
 		if size == 8 {
-			dm8 = r.dm
+			dm8 = dm
 		}
 		if size == 2 {
-			best4 = r.a4
+			best4 = a4
 		}
 	}
 

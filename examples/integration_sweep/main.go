@@ -17,13 +17,15 @@ func main() {
 	opt.MeasureTxns = 800
 
 	fmt.Println("Successive chip-level integration, 8 processors (paper Figure 10):")
-	base := opt.Run(oltpsim.BaseConfig(8, 8*oltpsim.MB, 1))
-	ladder := []oltpsim.Result{
-		base,
-		opt.Run(oltpsim.IntegratedL2Config(8, 2*oltpsim.MB, 8, oltpsim.OnChipSRAM)),
-		opt.Run(oltpsim.L2MCConfig(8, 2*oltpsim.MB, 8)),
-		opt.Run(oltpsim.FullIntegrationConfig(8, 2*oltpsim.MB, 8)),
-	}
+	// The four rungs are independent simulations; fan them across the worker
+	// pool (Workers=0 means GOMAXPROCS) and get the results back in order.
+	ladder := opt.RunMany([]oltpsim.Config{
+		oltpsim.BaseConfig(8, 8*oltpsim.MB, 1),
+		oltpsim.IntegratedL2Config(8, 2*oltpsim.MB, 8, oltpsim.OnChipSRAM),
+		oltpsim.L2MCConfig(8, 2*oltpsim.MB, 8),
+		oltpsim.FullIntegrationConfig(8, 2*oltpsim.MB, 8),
+	})
+	base := ladder[0]
 	for i := range ladder {
 		r := &ladder[i]
 		fmt.Printf("  %-12s %8.0f cycles/txn  (%.2fx vs Base)\n",
@@ -42,7 +44,8 @@ func main() {
 		{"network hop", func(m *oltpsim.CrossingModel) { m.LinkHop += 20 }},
 		{"owner probe", func(m *oltpsim.CrossingModel) { m.OwnerProbe += 20 }},
 	}
-	ref := opt.Run(oltpsim.FullIntegrationConfig(8, 2*oltpsim.MB, 8))
+	ref := ladder[3]
+	var perturbed []oltpsim.Config
 	for _, p := range perturb {
 		m := oltpsim.DefaultCrossingModel()
 		p.apply(&m)
@@ -50,9 +53,11 @@ func main() {
 		cfg := oltpsim.FullIntegrationConfig(8, 2*oltpsim.MB, 8)
 		cfg.LatencyOverride = &lt
 		cfg.Name = "All +" + p.name
-		r := opt.Run(cfg)
+		perturbed = append(perturbed, cfg)
+	}
+	for i, r := range opt.RunMany(perturbed) {
 		fmt.Printf("  +20cy %-16s -> %6.0f cycles/txn (%+.1f%%)\n",
-			p.name, r.CyclesPerTxn(), 100*(r.CyclesPerTxn()/ref.CyclesPerTxn()-1))
+			perturb[i].name, r.CyclesPerTxn(), 100*(r.CyclesPerTxn()/ref.CyclesPerTxn()-1))
 	}
 	fmt.Println("\nAs the paper argues, a 3-hop path component (network hop, owner probe)")
 	fmt.Println("moves multiprocessor OLTP far more than local-memory components.")

@@ -26,6 +26,11 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks the run for smoke tests.
 	Quick bool
+	// Workers bounds how many configurations RunMany simulates concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial path. Every
+	// simulation is a pure function of (config, seed), so parallel results
+	// are bit-identical to serial ones, in the same order.
+	Workers int
 }
 
 // DefaultOptions is the paper-fidelity protocol: measure 2000 transactions
@@ -103,13 +108,10 @@ func (f *Figure) NormMisses(i int) float64 {
 	return 100 * (f.Bars[i].MissesPerTxn() / b)
 }
 
-// runAll executes a list of configurations as one figure.
+// runAll executes a list of configurations as one figure, fanning the bars
+// across the Options worker pool while keeping presentation order.
 func runAll(o Options, id, title string, cfgs []core.Config) Figure {
-	f := Figure{ID: id, Title: title}
-	for _, cfg := range cfgs {
-		f.Bars = append(f.Bars, o.Run(cfg))
-	}
-	return f
+	return Figure{ID: id, Title: title, Bars: o.RunMany(cfgs)}
 }
 
 // label renames a configuration for presentation.

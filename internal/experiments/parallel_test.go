@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parallelTestOptions is small enough to run a figure several times in a
+// test, but long enough that any cross-goroutine contamination of simulator
+// state would have room to show up.
+func parallelTestOptions() Options {
+	o := QuickOptions()
+	o.WarmupTxns = 80
+	o.MeasureTxns = 200
+	return o
+}
+
+// TestParallelMatchesSerial is the determinism harness: a figure run through
+// the worker pool must be indistinguishable from the serial run — identical
+// stats.RunResult per bar and byte-identical rendered tables. This also
+// guards against accidental shared mutable state (package-level maps, shared
+// RNGs) creeping in between System instances.
+func TestParallelMatchesSerial(t *testing.T) {
+	figs := map[string]func(Options) Figure{
+		"Fig10Uni": Fig10Uni,
+		"Fig11":    Fig11,
+	}
+	for name, run := range figs {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serial := parallelTestOptions()
+			serial.Workers = 1
+			par := parallelTestOptions()
+			par.Workers = 4
+
+			fs := run(serial)
+			fp := run(par)
+
+			if len(fs.Bars) != len(fp.Bars) {
+				t.Fatalf("bar count differs: serial %d, parallel %d", len(fs.Bars), len(fp.Bars))
+			}
+			for i := range fs.Bars {
+				if !reflect.DeepEqual(fs.Bars[i], fp.Bars[i]) {
+					t.Errorf("bar %d (%s) differs between serial and parallel runs:\nserial:   %+v\nparallel: %+v",
+						i, fs.Bars[i].Name, fs.Bars[i], fp.Bars[i])
+				}
+			}
+			if fs.RenderExec() != fp.RenderExec() {
+				t.Error("RenderExec output differs between serial and parallel runs")
+			}
+			if fs.RenderMisses() != fp.RenderMisses() {
+				t.Error("RenderMisses output differs between serial and parallel runs")
+			}
+		})
+	}
+}
+
+// TestRunManyOrderAndDefaults checks that RunMany preserves input order
+// regardless of completion order, and that the Workers defaulting rules
+// (0 -> GOMAXPROCS, 1 -> serial, n -> n, n > len(cfgs)) all produce the
+// same results as the serial reference.
+func TestRunManyOrderAndDefaults(t *testing.T) {
+	o := parallelTestOptions()
+	cfgs := offChipSweep(1)[:4] // heterogeneous runtimes: 1M..8M caches
+	var want []string
+	for _, c := range cfgs {
+		want = append(want, c.Name)
+	}
+
+	o.Workers = 1
+	ref := o.RunMany(cfgs)
+
+	for _, workers := range []int{0, 2, 8} {
+		o.Workers = workers
+		res := o.RunMany(cfgs)
+		if len(res) != len(cfgs) {
+			t.Fatalf("Workers=%d: got %d results, want %d", workers, len(res), len(cfgs))
+		}
+		var names []string
+		for i := range res {
+			names = append(names, res[i].Name)
+		}
+		if !reflect.DeepEqual(names, want) {
+			t.Fatalf("Workers=%d: result order %v, want %v", workers, names, want)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("Workers=%d: results diverge from the serial reference", workers)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/stats"
+)
+
+// workers resolves Options.Workers to a concrete pool size for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// RunMany executes every configuration under the protocol and returns the
+// results in input order. Configurations are dispatched to a bounded worker
+// pool (Options.Workers goroutines; default GOMAXPROCS). Because each
+// simulation is a pure function of (config, seed) — no package shares
+// mutable state between System instances — the result slice is bit-identical
+// to running the same list serially; only wall-clock time changes.
+func (o Options) RunMany(cfgs []core.Config) []stats.RunResult {
+	results := make([]stats.RunResult, len(cfgs))
+	w := o.workers(len(cfgs))
+	if w <= 1 {
+		for i := range cfgs {
+			results[i] = o.Run(cfgs[i])
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = o.Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

@@ -8,7 +8,10 @@
 // bit-identically.
 package sim
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a splitmix64 pseudo-random generator. It is tiny, fast, and easy to
 // fork into independent streams, which we use to give every simulated process
@@ -41,20 +44,37 @@ func (r *RNG) Uint64() uint64 {
 // Uint32 returns the next value truncated to 32 bits.
 func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
 
-// Intn returns a value in [0, n). It panics if n <= 0.
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// bounded-rejection method (Lemire, "Fast Random Integer Generation in an
+// Interval", 2019). Unlike `Uint64() % n`, which over-weights small residues
+// whenever n does not divide 2^64, the rejection step makes every value in
+// [0, n) exactly equally likely. The fast path is a single 128-bit multiply;
+// rejection fires with probability < n/2^64.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n // (2^64 - n) mod n, the biased low fringe
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.Uint64n(uint64(n)))
 }
 
-// Int63n returns a value in [0, n) as int64. It panics if n <= 0.
+// Int63n returns a uniform value in [0, n) as int64. It panics if n <= 0.
 func (r *RNG) Int63n(n int64) int64 {
 	if n <= 0 {
 		panic("sim: Int63n with non-positive n")
 	}
-	return int64(r.Uint64() % uint64(n))
+	return int64(r.Uint64n(uint64(n)))
 }
 
 // Float64 returns a value in [0, 1).

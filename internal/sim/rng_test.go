@@ -58,6 +58,63 @@ func TestIntnBounds(t *testing.T) {
 	}
 }
 
+// TestIntnUnbiased checks the Lemire bounded-rejection draw for uniformity:
+// Intn(3) over splitmix64 output must land each bucket within tolerance of
+// n/3. (The old `Uint64() % n` path was biased toward small values for n not
+// a power of two; for small n the bias is tiny, so this is a distribution
+// sanity check plus a guard against gross regressions such as an off-by-one
+// in the rejection threshold.)
+func TestIntnUnbiased(t *testing.T) {
+	const n = 300_000
+	for _, seed := range []uint64{1, 42, 0xdeadbeef} {
+		r := NewRNG(seed)
+		var counts [3]int
+		for i := 0; i < n; i++ {
+			counts[r.Intn(3)]++
+		}
+		for b, c := range counts {
+			frac := float64(c) / n
+			if frac < 0.323 || frac > 0.343 { // 1/3 +- ~3 sigma
+				t.Fatalf("seed %d: Intn(3) bucket %d frac %.4f, want ~0.3333", seed, b, frac)
+			}
+		}
+	}
+}
+
+// TestUint64nCoversRange checks the rejection path with an n just above a
+// power of two (worst case for the biased fringe) and verifies bounds and
+// that both endpoints are reachable.
+func TestUint64nCoversRange(t *testing.T) {
+	r := NewRNG(9)
+	const n = 1<<16 + 1
+	seenLow, seenHigh := false, false
+	for i := 0; i < 2_000_000; i++ {
+		v := r.Uint64n(n)
+		if v >= n {
+			t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+		}
+		if v == 0 {
+			seenLow = true
+		}
+		if v == n-1 {
+			seenHigh = true
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Fatalf("endpoints not reached: low=%v high=%v", seenLow, seenHigh)
+	}
+}
+
+func TestInt63nBounds(t *testing.T) {
+	r := NewRNG(31)
+	for i := 0; i < 10_000; i++ {
+		v := r.Int63n(999_983) // prime: exercises the non-power-of-two path
+		if v < 0 || v >= 999_983 {
+			t.Fatalf("Int63n = %d out of range", v)
+		}
+	}
+}
+
 func TestIntnPanicsOnNonPositive(t *testing.T) {
 	defer func() {
 		if recover() == nil {

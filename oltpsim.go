@@ -23,6 +23,11 @@
 //	cfg := oltpsim.FullIntegrationConfig(8, 2*oltpsim.MB, 8)
 //	res := oltpsim.DefaultOptions().Run(cfg)
 //	fmt.Print(res.Summary())
+//
+// Every run is a pure function of (configuration, seed), so independent
+// configurations can be swept in parallel with bit-identical results:
+//
+//	results := oltpsim.DefaultOptions().RunMany(cfgs) // Workers=0 -> GOMAXPROCS
 package oltpsim
 
 import (
@@ -80,7 +85,10 @@ const (
 // Result is one configuration's measured outcome.
 type Result = stats.RunResult
 
-// Options is the warmup/measure protocol.
+// Options is the warmup/measure protocol. Options.RunMany fans a list of
+// configurations across a bounded worker pool (Options.Workers goroutines;
+// 0 means GOMAXPROCS, 1 forces serial) with results in input order,
+// bit-identical to a serial sweep.
 type Options = experiments.Options
 
 // Figure is a reproduced paper figure (a titled series of Results).
