@@ -1,0 +1,111 @@
+// Command oltpvet runs the project's static-analysis suite (internal/lint)
+// over the given packages and exits non-zero on any diagnostic. It enforces
+// the contracts the compiler cannot see: determinism (no wall clock,
+// environment, or global randomness under internal/), RNG discipline (no
+// modulo bias, no constant seeds), zero-guarded counter ratios, and
+// stats-owned counter mutation.
+//
+// Usage:
+//
+//	oltpvet [-doc] [packages...]
+//
+// Packages default to ./... relative to the module root. Patterns accept
+// the usual ./dir and ./dir/... forms. Suppress a diagnostic with a
+// trailing or immediately preceding comment:
+//
+//	//oltpvet:allow <reason>
+//
+// The reason is mandatory. Test files are not analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oltpsim/internal/lint"
+)
+
+func main() {
+	doc := flag.Bool("doc", false, "print each analyzer's documentation and exit")
+	verbose := flag.Bool("v", false, "list analyzed packages")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *doc {
+		for _, a := range analyzers {
+			fmt.Printf("%s:\n  %s\n", a.Name, indent(a.Doc))
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	ld, err := lint.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := ld.Expand(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			// Analysis over a package that does not type-check is
+			// unreliable; surface the first error and count it as failure.
+			fmt.Fprintf(os.Stderr, "oltpvet: %s does not type-check: %v\n", path, pkg.TypeErrors[0])
+			failed = true
+			continue
+		}
+		if *verbose {
+			fmt.Fprintln(os.Stderr, path)
+		}
+		for _, d := range lint.Run(pkg, analyzers) {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oltpvet:", err)
+	os.Exit(2)
+}
+
+func indent(s string) string {
+	out := ""
+	for i, line := range splitLines(s) {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += line
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(lines, s[start:])
+}

@@ -27,8 +27,8 @@ func main() {
 		cfg.CoresPerChip = perChip
 		cfg.Name = fmt.Sprintf("%d chips x %d cores", 8/perChip, perChip)
 		res := opt.Run(cfg)
-		remote := float64(res.Miss.RemoteClean()+res.Miss.RemoteDirty()) / float64(res.Txns)
-		dirty := float64(res.Miss.RemoteDirty()) / float64(res.Txns)
+		remote := float64(res.Miss.RemoteClean()+res.Miss.RemoteDirty()) / float64(max(1, res.Txns))
+		dirty := float64(res.Miss.RemoteDirty()) / float64(max(1, res.Txns))
 		fmt.Printf("%-18s %12.0f %16.1f %14.1f", cfg.Name, res.CyclesPerTxn(), remote, dirty)
 		if first == 0 {
 			first = res.CyclesPerTxn()

@@ -42,7 +42,7 @@ func main() {
 
 	fmt.Printf("\nmiss profile under full integration (per work unit):\n")
 	fmt.Printf("  OLTP: %5.1f misses (%.0f%% dirty 3-hop)\n", oltpFull.MissesPerTxn(),
-		100*float64(oltpFull.Miss.RemoteDirty())/float64(oltpFull.Miss.Total()))
+		100*float64(oltpFull.Miss.RemoteDirty())/float64(max(1, oltpFull.Miss.Total())))
 	fmt.Printf("  DSS:  %5.1f misses (%.0f%% dirty 3-hop)\n", dssFull.MissesPerTxn(),
 		100*float64(dssFull.Miss.RemoteDirty())/float64(max(1, dssFull.Miss.Total())))
 

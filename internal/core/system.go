@@ -270,13 +270,11 @@ func (s *System) Collect(name string, txns uint64) stats.RunResult {
 			l1dAcc += co.l1d.Accesses
 			l1dMiss += co.l1d.Misses()
 		}
-		res.Miss.Add(&n.miss)
-		res.Stores += n.stores
-		res.L2Accesses += n.l2.Accesses
+		var racProbes, racHits uint64
 		if n.rc != nil {
-			res.RACProbes += n.rc.Stats.Probes
-			res.RACHits += n.rc.Stats.Hits
+			racProbes, racHits = n.rc.Stats.Probes, n.rc.Stats.Hits
 		}
+		res.AddNode(&n.miss, n.stores, n.l2.Accesses, racProbes, racHits)
 	}
 	if l1iAcc > 0 {
 		res.L1IMissRate = float64(l1iMiss) / float64(l1iAcc)
@@ -424,11 +422,10 @@ func (s *System) access(n *node, co *coreCtx, r memref.Ref) (uint32, cpu.StallCa
 			// A RAC hit is a miss satisfied locally (paper Fig. 11 counts
 			// these as local misses).
 			n.miss.Count(ifetch, coherence.CatLocal)
+			n.miss.CountRACHit(ifetch)
 			if ifetch {
-				n.miss.RACHitsI++
 				n.racHitI++
 			} else {
-				n.miss.RACHitsD++
 				n.racHitD++
 			}
 			return s.contended(s.lat.RACHit, n.id, n.id, line), cpu.CatLocal

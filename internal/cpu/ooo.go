@@ -46,6 +46,10 @@ type OOOConfig struct {
 // stall accounting.
 type OOO struct {
 	cfg OOOConfig
+	// portStep is 1/MemPorts, precomputed at construction: it keeps the
+	// per-reference issue path division-free and MemPorts is validated
+	// non-zero exactly once.
+	portStep float64
 
 	seq             uint64  // instruction sequence count
 	now             float64 // retire frontier
@@ -100,9 +104,10 @@ func NewOOO(cfg OOOConfig) *OOO {
 		cfg.ChainFraction = 0.85
 	}
 	return &OOO{
-		cfg:   cfg,
-		ports: make([]float64, cfg.MemPorts),
-		gates: make([]gate, 256),
+		cfg:      cfg,
+		portStep: 1.0 / float64(cfg.MemPorts),
+		ports:    make([]float64, cfg.MemPorts),
+		gates:    make([]gate, 256),
 	}
 }
 
@@ -191,7 +196,7 @@ func (m *OOO) Account(r memref.Ref, lat uint32, cat StallCat) {
 		// memory transaction begins at the retire frontier.
 		issue = m.now
 	}
-	m.ports[m.nextPort] = issue + 1.0/float64(m.cfg.MemPorts)
+	m.ports[m.nextPort] = issue + m.portStep
 	m.nextPort = (m.nextPort + 1) % m.cfg.MemPorts
 
 	eff := float64(lat)

@@ -7,8 +7,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"oltpsim/internal/core"
 	"oltpsim/internal/oltp"
 	"oltpsim/internal/stats"
@@ -119,5 +117,3 @@ func label(cfg core.Config, name string) core.Config {
 	cfg.Name = name
 	return cfg
 }
-
-var _ = fmt.Sprintf // keep fmt for runners below

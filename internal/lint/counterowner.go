@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runResultCounters are the RunResult fields with conservation properties:
+// monotone event counts that the figures and cross-checks sum, difference,
+// and normalize. Derived values (rates, fractions, Name) are excluded.
+var runResultCounters = map[string]bool{
+	"Txns":          true,
+	"Invalidations": true,
+	"Writebacks":    true,
+	"Stores":        true,
+	"WriteInvalOps": true,
+	"RACProbes":     true,
+	"RACHits":       true,
+	"L2Accesses":    true,
+	"IdleCycles":    true,
+}
+
+// NewCounterOwner returns the counterowner analyzer for the stats types in
+// ownerPkg. The figures depend on conservation properties — every L2 miss
+// lands in exactly one MissTable category, RAC hits are a subset of local
+// misses, per-node counters sum to the run totals. Those properties hold
+// because mutation is funneled through a handful of accumulators
+// (Count/CountUpgrade/CountRACHit/Add/AddNode); a stray `m.I[cat]++` or
+// `res.Stores +=` elsewhere can double-count or skip a category without any
+// test noticing. The analyzer therefore flags:
+//
+//   - any write to a MissTable field outside ownerPkg's Count*/Add* methods
+//     (MissTable's accumulators are its complete mutation API), and
+//   - accumulating writes (++, --, +=, -=, ...) to RunResult counter fields
+//     outside those methods. Plain `=` stores remain legal everywhere:
+//     result assembly such as `res.Invalidations = dir.Stats.Invalidations`
+//     copies a total rather than accumulating one.
+func NewCounterOwner(ownerPkg string) *Analyzer {
+	a := &Analyzer{
+		Name: "counterowner",
+		Doc: "forbid writes to stats.MissTable fields and accumulating writes to\n" +
+			"stats.RunResult counter fields outside the stats Count*/Add* accumulators;\n" +
+			"ad-hoc counter mutation breaks the conservation properties the figures rely on",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if pass.Path == ownerPkg && isAccumulator(fd.Name.Name) {
+					continue
+				}
+				checkCounterWrites(pass, ownerPkg, fd)
+			}
+		}
+	}
+	return a
+}
+
+func isAccumulator(name string) bool {
+	return strings.HasPrefix(name, "Count") || strings.HasPrefix(name, "Add")
+}
+
+func checkCounterWrites(pass *Pass, ownerPkg string, fd *ast.FuncDecl) {
+	check := func(e ast.Expr, accumulating bool, pos token.Pos) {
+		// Unwrap index expressions so `m.I[cat]` resolves to the field I.
+		e = ast.Unparen(e)
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ast.Unparen(ix.X)
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return
+		}
+		field := s.Obj().Name()
+		switch {
+		case isPkgType(s.Recv(), ownerPkg, "MissTable"):
+			pass.Reportf(pos, "MissTable.%s written outside the stats Count*/Add* accumulators; use Count, CountUpgrade, CountRACHit, or Add", field)
+		case isPkgType(s.Recv(), ownerPkg, "RunResult") && accumulating && runResultCounters[field]:
+			pass.Reportf(pos, "RunResult.%s accumulated outside the stats Count*/Add* accumulators; use AddNode or add an accumulator to stats", field)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			accumulating := st.Tok != token.ASSIGN && st.Tok != token.DEFINE
+			for _, lhs := range st.Lhs {
+				check(lhs, accumulating, st.Pos())
+			}
+		case *ast.IncDecStmt:
+			check(st.X, true, st.Pos())
+		}
+		return true
+	})
+}

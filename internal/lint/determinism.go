@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// bannedImports are package imports that introduce a global random source.
+// Seeded randomness must come from sim.RNG so it forks deterministically.
+var bannedImports = map[string]string{
+	"math/rand":    "global random source; use sim.RNG seeded from config",
+	"math/rand/v2": "global random source; use sim.RNG seeded from config",
+	"crypto/rand":  "entropy source; the simulator must be a pure function of config and seed",
+}
+
+// bannedCalls are selector calls that read ambient state: the wall clock or
+// the process environment.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":       "wall clock",
+		"Since":     "wall clock",
+		"Until":     "wall clock",
+		"Sleep":     "wall-clock delay",
+		"After":     "wall-clock timer",
+		"Tick":      "wall-clock ticker",
+		"NewTimer":  "wall-clock timer",
+		"NewTicker": "wall-clock ticker",
+		"AfterFunc": "wall-clock timer",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+}
+
+// NewDeterminism returns the determinism analyzer: inside internal/ packages
+// nothing may read the wall clock, the environment, or a global random
+// source, and no package-level variable may be mutated outside init. These
+// are exactly the inputs that would make a run something other than a pure
+// function of (config, seed) — the property every committed figure and the
+// paper-comparison score rely on.
+func NewDeterminism() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc: "forbid wall-clock reads (time.Now/Since/...), environment reads (os.Getenv/...),\n" +
+			"global random sources (math/rand, crypto/rand), and mutated package-level state\n" +
+			"inside internal/ packages; every run must be a pure function of config and seed",
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.Internal() {
+			return
+		}
+		for _, f := range pass.Files {
+			checkImports(pass, f)
+			checkBannedCalls(pass, f)
+		}
+		checkGlobalMutation(pass)
+	}
+	return a
+}
+
+func checkImports(pass *Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if why, ok := bannedImports[path]; ok {
+			pass.Reportf(imp.Pos(), "non-deterministic import %q: %s", path, why)
+		}
+		if imp.Name != nil && imp.Name.Name == "." && bannedCalls[path] != nil {
+			pass.Reportf(imp.Pos(), "dot import of %q hides non-deterministic calls from analysis", path)
+		}
+	}
+}
+
+func checkBannedCalls(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if why, ok := bannedCalls[pn.Imported().Path()][sel.Sel.Name]; ok {
+			pass.Reportf(sel.Pos(), "%s.%s is a %s; a simulation run must be a pure function of config and seed",
+				pn.Imported().Path(), sel.Sel.Name, why)
+		}
+		return true
+	})
+}
+
+// checkGlobalMutation flags writes to package-level variables from any
+// function other than init. A table computed once during initialization is
+// deterministic; state mutated at run time couples independent runs (and
+// races under the parallel experiment runner).
+func checkGlobalMutation(pass *Pass) {
+	globals := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if obj := pass.Info.Defs[name]; obj != nil {
+						globals[obj] = true
+					}
+				}
+			}
+		}
+	}
+	if len(globals) == 0 {
+		return
+	}
+	report := func(e ast.Expr, pos token.Pos) {
+		id := baseIdent(e)
+		if id == nil {
+			return
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && globals[obj] {
+			pass.Reportf(pos, "package-level var %s is mutated at run time; global mutable state breaks determinism and races under the parallel runner", id.Name)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						report(lhs, st.Pos())
+					}
+				case *ast.IncDecStmt:
+					report(st.X, st.Pos())
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package lint is the project's static-analysis suite: four analyzers that
+// machine-check the contracts the reproduction depends on but the compiler
+// cannot see. The `internal/sim` package doc promises that every run is a
+// pure function of configuration and seed; PR 1 fixed a `Uint64() % n`
+// modulo-bias bug that had silently skewed every figure by tenths of a
+// point. Both bug classes — and two more like them — are cheap to
+// reintroduce by hand and cheap to catch by machine, so `cmd/oltpvet`
+// runs this package over the tree in CI.
+//
+// The analyzers:
+//
+//   - determinism: no wall clock, environment reads, global random sources,
+//     or mutated package-level state under internal/.
+//   - rngdiscipline: no `%` on RNG.Uint64/Uint32 results (modulo bias) and
+//     no constant RNG seeds inside internal/ (seeds flow from config).
+//   - zeroguard: no `float64(a)/float64(b)` where the denominator is a
+//     counter field or counter accessor without a dominating zero test.
+//   - counterowner: stats.MissTable and stats.RunResult counter fields are
+//     written only by the stats package's Count*/Add* accumulators.
+//
+// A diagnostic can be suppressed with a trailing or immediately preceding
+// comment of the form
+//
+//	//oltpvet:allow <reason>
+//
+// The reason is mandatory; a bare allow comment is itself a diagnostic.
+// The suite analyzes non-test files only: tests legitimately construct
+// fixtures, poke counters, and use the wall clock for timeouts.
+//
+// Everything here is standard library only (go/ast, go/parser, go/types,
+// go/importer); there is no dependency on golang.org/x/tools, so the tool
+// builds offline with the bare toolchain.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and documentation.
+	Name string
+	// Doc explains what the analyzer enforces and why.
+	Doc string
+	// Run reports diagnostics through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path (e.g. "oltpsim/internal/sim").
+	Path  string
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Internal reports whether the package under analysis lives below an
+// internal/ directory — the scope in which the determinism contract is
+// absolute. Command and example packages are configuration roots: a literal
+// seed or a wall-clock read there is an explicit user-facing choice.
+func (p *Pass) Internal() bool {
+	return strings.Contains(p.Path, "internal/")
+}
+
+// Run applies the analyzers to one loaded package and returns the surviving
+// diagnostics: suppressed findings are removed, and malformed allow comments
+// are themselves reported.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Files:    pkg.Files,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// allowPrefix introduces a suppression comment; the rest of the comment is
+// the mandatory reason.
+const allowPrefix = "//oltpvet:allow"
+
+// suppress drops diagnostics covered by an //oltpvet:allow comment on the
+// same line or the line immediately above, and reports allow comments that
+// carry no reason.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allowed := make(map[string]map[int]bool)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				if reason == "" {
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "allow",
+						Message:  "//oltpvet:allow needs a reason: //oltpvet:allow <why this is safe>",
+					})
+					continue
+				}
+				if allowed[pos.Filename] == nil {
+					allowed[pos.Filename] = make(map[int]bool)
+				}
+				allowed[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	for _, d := range diags {
+		lines := allowed[d.Pos.Filename]
+		if lines != nil && (lines[d.Pos.Line] || lines[d.Pos.Line-1]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// All returns the full analyzer suite with production configuration.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(),
+		NewRNGDiscipline(SimPkgPath),
+		NewZeroGuard(),
+		NewCounterOwner(StatsPkgPath),
+	}
+}
+
+// Canonical paths of the packages whose contracts the suite enforces. The
+// analyzer constructors take them as parameters so fixture tests can stand
+// up small owner packages under testdata.
+const (
+	SimPkgPath   = "oltpsim/internal/sim"
+	StatsPkgPath = "oltpsim/internal/stats"
+)
+
+// baseIdent unwraps selector, index, star, and paren expressions down to the
+// root identifier of an lvalue, or nil if the root is not an identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// namedType unwraps pointers and returns the named type of t, or nil.
+func namedType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isPkgType reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

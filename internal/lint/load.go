@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("oltpsim/internal/sim").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds any type-checking errors. Analysis over a package
+	// with type errors is unreliable, so the driver refuses to vet one.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module from source, with no
+// dependency on the go command or golang.org/x/tools. Imports inside the
+// module resolve by mapping the import path under the module root; standard
+// library imports resolve through the stdlib source importer.
+type Loader struct {
+	// ModPath is the module path from go.mod ("oltpsim").
+	ModPath string
+	// ModDir is the absolute module root.
+	ModDir string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader builds a loader for the module rooted at or above dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModPath: modPath,
+		ModDir:  root,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+	}, nil
+}
+
+// findModule walks up from dir to the first go.mod and returns the module
+// root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFor maps an import path inside the module to its source directory.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.ModPath {
+		return l.ModDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModDir, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Load parses and type-checks the package at the given module-internal
+// import path, caching the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: %s is outside module %s", path, l.ModPath)
+	}
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go source files in %s", dir)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns the (possibly incomplete) package even on error; the
+	// collected TypeErrors carry the details.
+	pkg.Types, _ = conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer so module-internal packages can depend on
+// each other during type checking.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("lint: %s: %v", path, p.TypeErrors[0])
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Expand resolves command-line package patterns to import paths. Supported
+// forms: "./..." (the whole module), "dir/..." (a subtree), and plain
+// directories. Directories named testdata or vendor and hidden directories
+// are skipped, as are directories with no non-test Go files.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.ModDir, dir)
+		}
+		dir = filepath.Clean(dir)
+		rel, err := filepath.Rel(l.ModDir, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: pattern %q is outside the module", pat)
+		}
+		if !recursive {
+			names, err := goSources(dir)
+			if err != nil {
+				return nil, err
+			}
+			if len(names) == 0 {
+				return nil, fmt.Errorf("lint: no Go source files in %s", dir)
+			}
+			add(importPathFor(l.ModPath, rel))
+			continue
+		}
+		err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			names, err := goSources(p)
+			if err != nil {
+				return err
+			}
+			if len(names) > 0 {
+				rel, err := filepath.Rel(l.ModDir, p)
+				if err != nil {
+					return err
+				}
+				add(importPathFor(l.ModPath, rel))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func importPathFor(modPath, rel string) string {
+	if rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// goSources lists the non-test Go files of dir in sorted order.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

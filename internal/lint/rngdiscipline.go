@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewRNGDiscipline returns the rngdiscipline analyzer for the RNG type in
+// rngPkg. It statically kills the PR-1 bug class two ways:
+//
+//   - `rng.Uint64() % n` (and the Uint32 variant) over-weights small values
+//     whenever n does not divide the generator's range; the bias silently
+//     skewed every committed figure by tenths of a point before PR 1
+//     replaced it with Lemire bounded rejection. Any new `%` on a raw draw
+//     is flagged; callers must use Uint64n/Intn/Int63n.
+//   - `NewRNG(<constant>)` inside internal/ pins a seed the configuration
+//     cannot reach, so two experiments that should be independent share a
+//     stream. Seeds must flow in from config or be derived with Fork.
+func NewRNGDiscipline(rngPkg string) *Analyzer {
+	a := &Analyzer{
+		Name: "rngdiscipline",
+		Doc: "forbid `%` on RNG.Uint64/Uint32 results (modulo bias: use Uint64n/Intn/Int63n)\n" +
+			"and constant seeds to NewRNG inside internal/ (seeds must come from config or Fork)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.BinaryExpr:
+					checkModuloBias(pass, rngPkg, e)
+				case *ast.CallExpr:
+					if pass.Internal() {
+						checkConstantSeed(pass, rngPkg, e)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkModuloBias flags `x.Uint64() % n` / `x.Uint32() % n` where x is the
+// RNG type.
+func checkModuloBias(pass *Pass, rngPkg string, e *ast.BinaryExpr) {
+	if e.Op != token.REM {
+		return
+	}
+	call, ok := ast.Unparen(e.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return
+	}
+	name := s.Obj().Name()
+	if name != "Uint64" && name != "Uint32" {
+		return
+	}
+	if !isPkgType(s.Recv(), rngPkg, "RNG") {
+		return
+	}
+	pass.Reportf(e.Pos(), "RNG.%s() %% n is modulo-biased toward small values; use Uint64n/Intn/Int63n (Lemire bounded rejection)", name)
+}
+
+// checkConstantSeed flags NewRNG(<constant>) calls.
+func checkConstantSeed(pass *Pass, rngPkg string, call *ast.CallExpr) {
+	var fn types.Object
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn = pass.Info.Uses[f.Sel]
+	case *ast.Ident:
+		fn = pass.Info.Uses[f]
+	default:
+		return
+	}
+	if fn == nil || fn.Name() != "NewRNG" || fn.Pkg() == nil || fn.Pkg().Path() != rngPkg {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+		pass.Reportf(call.Pos(), "RNG seeded with constant %s inside internal/; thread the seed from configuration or derive it with Fork", tv.Value)
+	}
+}

@@ -1,0 +1,20 @@
+// Package allow is an oltpvet fixture for the suppression convention. The
+// expectations are asserted by hand in lint_test.go because the bare-allow
+// case reports on the comment's own line, where a want comment cannot sit.
+package allow
+
+import "time"
+
+func inline() int64 {
+	return time.Now().UnixNano() //oltpvet:allow fixture demonstrates the escape hatch
+}
+
+func standalone() int64 {
+	//oltpvet:allow a standalone comment suppresses the next line
+	return time.Now().UnixNano()
+}
+
+//oltpvet:allow
+func bare() int64 {
+	return time.Now().UnixNano()
+}

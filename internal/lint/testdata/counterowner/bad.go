@@ -1,0 +1,30 @@
+// Package counterowner is an oltpvet fixture: counter mutation outside the
+// owning package's Count*/Add* accumulators.
+package counterowner
+
+import "oltpsim/internal/lint/testdata/counterowner/counters"
+
+type node struct {
+	miss counters.MissTable
+}
+
+func tamper(n *node, res *counters.RunResult) {
+	n.miss.I[0]++        // want "MissTable.I"
+	n.miss.RACHitsI += 2 // want "MissTable.RACHitsI"
+	res.Txns++           // want "RunResult.Txns"
+	res.Stores += 5      // want "RunResult.Stores"
+}
+
+func legal(n *node, res *counters.RunResult) {
+	n.miss.Count(true, 0)
+	res.AddNode(&n.miss, 1)
+	// Plain assignment is result assembly (copying a total), not
+	// accumulation.
+	res.Txns = 100
+	res.Name = "ok"
+	// Derived, non-counter fields are not owned.
+	res.Rate = 0.5
+	res.Rate += 0.1
+	// Whole-struct zeroing re-initializes the containing field.
+	n.miss = counters.MissTable{}
+}

@@ -1,0 +1,51 @@
+// Package counters is the fixture stand-in for internal/stats: the
+// counterowner test points the analyzer's owner-package parameter here, so
+// the fixture can probe both sides of the ownership boundary without
+// touching the real stats package.
+package counters
+
+// MissTable mirrors the shape of stats.MissTable.
+type MissTable struct {
+	I        [4]uint64
+	D        [4]uint64
+	RACHitsI uint64
+}
+
+// RunResult mirrors the counter/derived split of stats.RunResult.
+type RunResult struct {
+	Txns   uint64
+	Stores uint64
+	Name   string
+	Rate   float64
+}
+
+// Count records one miss.
+func (m *MissTable) Count(instruction bool, cat int) {
+	if instruction {
+		m.I[cat]++
+	} else {
+		m.D[cat]++
+	}
+}
+
+// Add accumulates o into m.
+func (m *MissTable) Add(o *MissTable) {
+	for i := range m.I {
+		m.I[i] += o.I[i]
+		m.D[i] += o.D[i]
+	}
+	m.RACHitsI += o.RACHitsI
+}
+
+// AddNode accumulates one node's counters.
+func (r *RunResult) AddNode(m *MissTable, stores uint64) {
+	r.Stores += stores
+}
+
+// reset lives in the owning package but is not a Count*/Add* accumulator,
+// so its counter writes are still flagged: ownership is per-method, not
+// per-package.
+func (m *MissTable) reset() {
+	m.I[0] = 0   // want "MissTable.I"
+	m.RACHitsI-- // want "MissTable.RACHitsI"
+}

@@ -1,0 +1,10 @@
+// Package real proves the production analyzer configuration catches writes
+// to the actual stats types, not just the fixture stand-ins.
+package real
+
+import "oltpsim/internal/stats"
+
+func tamper(m *stats.MissTable, r *stats.RunResult) {
+	m.RACHitsI++ // want "MissTable.RACHitsI"
+	r.Txns += 1  // want "RunResult.Txns"
+}

@@ -1,0 +1,52 @@
+// Package determinism is an oltpvet fixture: each flagged line carries a
+// `// want "substring"` comment naming the expected diagnostic.
+package determinism
+
+import (
+	"math/rand" // want "non-deterministic import"
+	"os"
+	"time"
+)
+
+// mutated is written from run-time code below, which breaks determinism.
+var mutated int
+
+// table is only written during init: a lookup table computed once during
+// initialization is deterministic and legal.
+var table map[string]int
+
+func init() {
+	table = map[string]int{"a": 1}
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+}
+
+func fromEnv() string {
+	return os.Getenv("OLTPSIM_SEED") // want "os.Getenv"
+}
+
+func draw() int {
+	return rand.Int()
+}
+
+func bump() {
+	mutated++ // want "package-level var mutated"
+}
+
+func set(v int) {
+	mutated = v // want "package-level var mutated"
+}
+
+func readOnly() int {
+	return table["a"] + mutated
+}

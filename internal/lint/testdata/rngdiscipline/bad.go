@@ -1,0 +1,46 @@
+// Package rngdiscipline is an oltpvet fixture for the modulo-bias and
+// constant-seed rules; it exercises the real sim.RNG type. The
+// `r.Uint64() % n` cases are the exact bug class PR 1 fixed.
+package rngdiscipline
+
+import "oltpsim/internal/sim"
+
+func biased64(r *sim.RNG, n uint64) uint64 {
+	return r.Uint64() % n // want "modulo-biased"
+}
+
+func biased32(r *sim.RNG, n uint32) uint32 {
+	return r.Uint32() % n // want "modulo-biased"
+}
+
+func unbiased(r *sim.RNG, n uint64) uint64 {
+	return r.Uint64n(n)
+}
+
+func unbiasedInt(r *sim.RNG, n int) int {
+	return r.Intn(n)
+}
+
+func hardcodedSeed() *sim.RNG {
+	return sim.NewRNG(42) // want "constant"
+}
+
+const defaultSeed = 1234
+
+func hardcodedConstSeed() *sim.RNG {
+	return sim.NewRNG(defaultSeed) // want "constant"
+}
+
+func threadedSeed(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed)
+}
+
+func forked(parent *sim.RNG) *sim.RNG {
+	return parent.Fork()
+}
+
+// remOnBoundedDraw is legal: the draw is already debiased, and % here is
+// plain arithmetic rather than range reduction of a raw stream.
+func remOnBoundedDraw(r *sim.RNG) uint64 {
+	return r.Uint64n(100) % 2
+}

@@ -1,0 +1,45 @@
+// Package zeroguard is an oltpvet fixture: float64 ratios of counter fields
+// and counter accessors must carry a dominating zero test.
+package zeroguard
+
+type counters struct {
+	hits, probes uint64
+}
+
+func (c counters) total() uint64 { return c.hits + c.probes }
+
+func unguardedField(c counters) float64 {
+	return float64(c.hits) / float64(c.probes) // want "no dominating zero test"
+}
+
+func unguardedAccessor(c counters) float64 {
+	return float64(c.hits) / float64(c.total()) // want "no dominating zero test"
+}
+
+func guardedEarlyReturn(c counters) float64 {
+	if c.probes == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.probes)
+}
+
+func guardedEnclosing(c counters) float64 {
+	if c.total() > 0 {
+		return float64(c.hits) / float64(c.total())
+	}
+	return 0
+}
+
+func guardedWrongExpr(c counters) float64 {
+	if c.hits != 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.probes) // want "no dominating zero test"
+}
+
+// localsAreExempt: guarding a local denominator is visible at a glance, so
+// the analyzer stays out of the way.
+func localsAreExempt(c counters) float64 {
+	d := c.probes
+	return float64(c.hits) / float64(d)
+}

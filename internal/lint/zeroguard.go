@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewZeroGuard returns the zeroguard analyzer. Every normalized metric in
+// this codebase is a ratio of counters — cycles per transaction, misses per
+// transaction, hit rates — and a counter can legitimately be zero (a
+// zero-transaction warmup window, a RAC that was never probed). A division
+// `float64(a)/float64(b)` whose denominator is a counter field or counter
+// accessor silently turns that into ±Inf or NaN and poisons every figure
+// downstream, so each such division must be dominated by a zero test of the
+// same denominator (the `stats.safeDiv` pattern).
+//
+// Detection is deliberately narrow: the denominator must be a float64
+// conversion of a field selector (`x.Count`) or a no-argument accessor on a
+// selector chain (`x.Miss.Total()`). Local variables are exempt — guarding
+// those is visible at a glance — and a textually identical comparison
+// against zero anywhere earlier in the same function counts as the
+// dominating test (early-return guards and enclosing ifs both match).
+func NewZeroGuard() *Analyzer {
+	a := &Analyzer{
+		Name: "zeroguard",
+		Doc: "require a dominating zero test on float64(a)/float64(b) divisions whose\n" +
+			"denominator is a counter field or accessor; unguarded ratios turn a legal\n" +
+			"zero counter into Inf/NaN that poisons every downstream figure",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					checkFuncDivisions(pass, fd)
+				}
+			}
+		}
+	}
+	return a
+}
+
+func checkFuncDivisions(pass *Pass, fd *ast.FuncDecl) {
+	// Collect zero-comparisons: the textual form of the non-zero operand,
+	// with the position of the comparison.
+	type guard struct {
+		expr string
+		pos  token.Pos
+	}
+	var guards []guard
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ, token.GTR, token.LSS, token.GEQ, token.LEQ:
+		default:
+			return true
+		}
+		if isZero(pass, be.Y) {
+			guards = append(guards, guard{types.ExprString(ast.Unparen(be.X)), be.Pos()})
+		} else if isZero(pass, be.X) {
+			guards = append(guards, guard{types.ExprString(ast.Unparen(be.Y)), be.Pos()})
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.QUO {
+			return true
+		}
+		den := floatConversionArg(pass, be.Y)
+		if den == nil || !isCounterExpr(den) {
+			return true
+		}
+		want := types.ExprString(den)
+		for _, g := range guards {
+			if g.expr == want && g.pos < be.Pos() {
+				return true
+			}
+		}
+		pass.Reportf(be.Pos(), "division by %s has no dominating zero test; guard it or use the stats.safeDiv pattern", want)
+		return true
+	})
+}
+
+// floatConversionArg returns the operand of a float64(...) conversion, or
+// nil if e is not one.
+func floatConversionArg(pass *Pass, e ast.Expr) ast.Expr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Float64 {
+		return nil
+	}
+	return ast.Unparen(call.Args[0])
+}
+
+// isCounterExpr reports whether e reads a counter: a field selector or a
+// no-argument method call on a selector chain.
+func isCounterExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.CallExpr:
+		if len(x.Args) != 0 {
+			return false
+		}
+		_, ok := x.Fun.(*ast.SelectorExpr)
+		return ok
+	}
+	return false
+}
+
+// isZero reports whether e is the constant 0.
+func isZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}

@@ -115,8 +115,13 @@ func NewZipf(n int, theta float64) *Zipf {
 }
 
 // Next draws the next rank in [0, n); rank 0 is the hottest item.
-func (z *Zipf) Next(r *RNG) int {
-	u := r.Float64()
+func (z *Zipf) Next(r *RNG) int { return z.nextFrom(r.Float64()) }
+
+// nextFrom maps a uniform u in [0, 1) to a rank, clamping the result to
+// [0, n): at the extreme tail (u within a few ulps of 1) the inverse-CDF
+// approximation `int(float64(n) * pow(...))` can round up to exactly n,
+// which would address a nonexistent item.
+func (z *Zipf) nextFrom(u float64) int {
 	uz := u * z.zetan
 	if uz < 1 {
 		return 0
@@ -124,7 +129,14 @@ func (z *Zipf) Next(r *RNG) int {
 	if uz < z.halfPN {
 		return 1
 	}
-	return int(float64(z.n) * powF(z.eta*u-z.eta+1, z.alpha))
+	k := int(float64(z.n) * powF(z.eta*u-z.eta+1, z.alpha))
+	if k < 0 {
+		return 0
+	}
+	if k >= z.n {
+		return z.n - 1
+	}
+	return k
 }
 
 func zeta(n int, theta float64) float64 {

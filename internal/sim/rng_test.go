@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -169,6 +170,43 @@ func TestZipfBounds(t *testing.T) {
 		v := z.Next(r)
 		if v < 0 || v >= 1000 {
 			t.Fatalf("Zipf out of bounds: %d", v)
+		}
+	}
+}
+
+// TestZipfTailClamp hammers nextFrom with u values within a few ulps of 1 —
+// the region where `int(float64(n) * powF(...))` can round up to exactly n —
+// across a grid of sizes and skews, and checks the rank never leaves [0, n).
+func TestZipfTailClamp(t *testing.T) {
+	// Walk down from the largest float64 below 1 one ulp at a time, plus a
+	// few coarser tail offsets.
+	var us []float64
+	u := math.Nextafter(1, 0)
+	for i := 0; i < 64; i++ {
+		us = append(us, u)
+		u = math.Nextafter(u, 0)
+	}
+	us = append(us, 1-1e-15, 1-1e-12, 1-1e-9, 1-1e-6, 0.999999, 0)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 20} {
+		for _, theta := range []float64{0.01, 0.5, 0.93, 0.99} {
+			z := NewZipf(n, theta)
+			for _, u := range us {
+				if v := z.nextFrom(u); v < 0 || v >= n {
+					t.Fatalf("Zipf(n=%d, theta=%g).nextFrom(%v) = %d out of [0, %d)", n, theta, u, v, n)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfNextMatchesNextFrom pins Next to the nextFrom(Float64()) path so
+// the clamp covers the public API.
+func TestZipfNextMatchesNextFrom(t *testing.T) {
+	z := NewZipf(1000, 0.9)
+	a, b := NewRNG(29), NewRNG(29)
+	for i := 0; i < 10_000; i++ {
+		if got, want := z.Next(a), z.nextFrom(b.Float64()); got != want {
+			t.Fatalf("draw %d: Next = %d, nextFrom(Float64()) = %d", i, got, want)
 		}
 	}
 }

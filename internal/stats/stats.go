@@ -41,6 +41,17 @@ func (m *MissTable) Count(instruction bool, cat coherence.Category) {
 // CountUpgrade records one upgrade.
 func (m *MissTable) CountUpgrade(cat coherence.Category) { m.Upgrades[cat]++ }
 
+// CountRACHit records a local miss satisfied by the node's own RAC. The
+// caller records the CatLocal miss itself via Count; this tracks the
+// RAC-sourced subset the paper's Fig. 11 breakdown needs.
+func (m *MissTable) CountRACHit(instruction bool) {
+	if instruction {
+		m.RACHitsI++
+	} else {
+		m.RACHitsD++
+	}
+}
+
 // ITotal returns all instruction misses.
 func (m *MissTable) ITotal() uint64 { return sum(m.I[:]) }
 
@@ -113,6 +124,18 @@ type RunResult struct {
 	KernelFraction float64
 	Utilization    float64 // busy / non-idle
 	IdleCycles     uint64
+}
+
+// AddNode accumulates one chip's counters into the result. All counter
+// accumulation from other packages flows through stats accumulators like
+// this one so the conservation properties the figures depend on stay in one
+// place (enforced by the counterowner analyzer in internal/lint).
+func (r *RunResult) AddNode(miss *MissTable, stores, l2Accesses, racProbes, racHits uint64) {
+	r.Miss.Add(miss)
+	r.Stores += stores
+	r.L2Accesses += l2Accesses
+	r.RACProbes += racProbes
+	r.RACHits += racHits
 }
 
 // CyclesPerTxn is the figure metric: non-idle cycles per committed

@@ -38,6 +38,35 @@ func TestMissTableAdd(t *testing.T) {
 	}
 }
 
+func TestMissTableCountRACHit(t *testing.T) {
+	var m MissTable
+	m.CountRACHit(true)
+	m.CountRACHit(false)
+	m.CountRACHit(false)
+	if m.RACHitsI != 1 || m.RACHitsD != 2 {
+		t.Fatalf("RAC hits I=%d D=%d, want 1/2", m.RACHitsI, m.RACHitsD)
+	}
+	// CountRACHit tracks a subset of local misses; it must not touch the
+	// category tables themselves.
+	if m.Total() != 0 {
+		t.Fatalf("CountRACHit changed miss totals: %d", m.Total())
+	}
+}
+
+func TestRunResultAddNode(t *testing.T) {
+	var r RunResult
+	var m MissTable
+	m.Count(false, coherence.CatLocal)
+	r.AddNode(&m, 10, 20, 30, 40)
+	r.AddNode(&m, 1, 2, 3, 4)
+	if r.Miss.Total() != 2 {
+		t.Fatalf("misses %d, want 2", r.Miss.Total())
+	}
+	if r.Stores != 11 || r.L2Accesses != 22 || r.RACProbes != 33 || r.RACHits != 44 {
+		t.Fatalf("counters %d/%d/%d/%d, want 11/22/33/44", r.Stores, r.L2Accesses, r.RACProbes, r.RACHits)
+	}
+}
+
 func mkResult(cyclesPerTxn uint64, txns uint64) RunResult {
 	r := RunResult{Name: "t", Txns: txns}
 	r.Breakdown = cpu.Breakdown{Busy: cyclesPerTxn * txns}
@@ -77,6 +106,52 @@ func TestRACHitRate(t *testing.T) {
 	r := RunResult{RACProbes: 100, RACHits: 42}
 	if r.RACHitRate() != 0.42 {
 		t.Fatalf("hit rate %v", r.RACHitRate())
+	}
+}
+
+// TestSummaryGolden pins the exact rendering of Summary for a fully
+// populated result, mirroring the figures_output.txt discipline: any change
+// to the report format must be deliberate and show up in review as a new
+// golden string, not as silent drift.
+func TestSummaryGolden(t *testing.T) {
+	r := RunResult{
+		Name: "full-2M",
+		Txns: 100,
+		Breakdown: cpu.Breakdown{
+			Busy:   40_000,
+			L2Hit:  20_000,
+			Local:  15_000,
+			Remote: 15_000, RemoteDirty: 10_000,
+			Idle:   5_000,
+			Kernel: 25_000,
+		},
+		Miss: MissTable{
+			I:        [4]uint64{100, 50, 0, 0},
+			D:        [4]uint64{200, 0, 150, 50},
+			RACHitsD: 30,
+		},
+		KernelFraction: 0.25,
+		Utilization:    0.4,
+		IdleCycles:     5_000,
+	}
+	want := "full-2M            1000 cycles/txn  (100 txns)\n" +
+		"  breakdown: CPU 40.0%  L2Hit 20.0%  Local 15.0%  Remote 15.0%  Dirty 10.0%\n" +
+		"  L2 misses/txn: 5.5 (I 1.5, D 4.0; local 300, 2-hop 50, 3-hop 200)\n" +
+		"  kernel 25.0%  utilization 40.0%  idle 5000\n"
+	if got := r.Summary(); got != want {
+		t.Fatalf("Summary rendering changed:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSummaryGoldenZeroTxns pins the degenerate rendering: a result that
+// measured nothing must render finite zeros, never Inf/NaN.
+func TestSummaryGoldenZeroTxns(t *testing.T) {
+	r := RunResult{Name: "empty"}
+	want := "empty                 0 cycles/txn  (0 txns)\n" +
+		"  L2 misses/txn: 0.0 (I 0.0, D 0.0; local 0, 2-hop 0, 3-hop 0)\n" +
+		"  kernel 0.0%  utilization 0.0%  idle 0\n"
+	if got := r.Summary(); got != want {
+		t.Fatalf("Summary rendering changed:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 
