@@ -420,17 +420,18 @@ func BenchmarkTPCBTransaction(b *testing.B) {
 // BenchmarkSimulationThroughput measures end-to-end simulated references per
 // second on the full machine (8 CPUs, Base), the number that governs how
 // long figure regeneration takes.
+// The steady-state loop must not allocate: ReportAllocs makes allocs/op
+// part of the default output, and cmd/benchdiff fails CI if it ever rises
+// above the committed zero. Run with a large -benchtime (e.g. 2000000x) for
+// meaningful ns/op; at small iteration counts warmup effects dominate.
 func BenchmarkSimulationThroughput(b *testing.B) {
 	o := experiments.QuickOptions()
 	cfg := BaseConfig(8, 8*MB, 1)
 	h := oltp.MustNewHarness(o.Params(cfg))
 	sys := MustNewSystem(cfg, h)
+	b.ReportAllocs()
 	b.ResetTimer()
-	n := 0
 	for i := 0; i < b.N; i++ {
 		sys.Step()
-		n++
 	}
-	b.StopTimer()
-	_ = n
 }

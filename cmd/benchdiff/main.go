@@ -1,0 +1,238 @@
+// Command benchdiff is the benchmark regression guard for the hot-path
+// work: it runs the repo's benchmarks, reduces each to its best (minimum)
+// observation across -count repetitions — the right statistic on noisy
+// shared machines, since noise only ever adds time — and either records the
+// result as the committed baseline (-write) or compares against it (-check).
+//
+// Two counters are guarded differently because they fail differently:
+//
+//   - allocs/op is deterministic for a deterministic simulator, so ANY
+//     increase beyond -alloc-tolerance is a real regression and always
+//     fails the check, on any machine.
+//   - ns/op is machine-dependent, so the time check (-tolerance, default
+//     10%) is meaningful on hardware comparable to the baseline's; pass
+//     -allocs-only to skip it entirely (the blocking CI step does this,
+//     the advisory step runs the full comparison).
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -write            # record baseline BENCH_pr3.json
+//	go run ./cmd/benchdiff -check            # fail on time or alloc regression
+//	go run ./cmd/benchdiff -check -allocs-only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark record.
+type Baseline struct {
+	// Note reminds readers how the numbers were produced.
+	Note string `json:"note"`
+	// Short records whether the benchmarks ran with -short (the scaled-down
+	// database); a check against a baseline from the other mode is invalid.
+	Short      bool        `json:"short"`
+	Count      int         `json:"count"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's best observation.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
+
+func main() {
+	var (
+		write      = flag.Bool("write", false, "record the baseline instead of checking against it")
+		check      = flag.Bool("check", false, "compare against the committed baseline")
+		baseline   = flag.String("baseline", "BENCH_pr3.json", "baseline file path")
+		count      = flag.Int("count", 3, "repetitions; the minimum per benchmark is used")
+		short      = flag.Bool("short", true, "run benchmarks in -short mode")
+		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression")
+		allocTol   = flag.Float64("alloc-tolerance", 0.01, "allowed fractional allocs/op regression")
+		allocsOnly = flag.Bool("allocs-only", false, "skip the machine-dependent ns/op comparison")
+	)
+	flag.Parse()
+	if *write == *check {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -write or -check is required")
+		os.Exit(2)
+	}
+
+	// Each guarded benchmark carries its own iteration budget:
+	// RunnerSerial regenerates a whole figure per iteration (1x is already
+	// seconds of simulation); SimulationThroughput times single Step calls
+	// and needs enough iterations that setup cost amortizes away, which is
+	// also what drives its allocs/op to the steady-state zero.
+	specs := []struct {
+		pattern   string
+		benchtime string
+	}{
+		{"^BenchmarkRunnerSerial$", "1x"},
+		{"^BenchmarkSimulationThroughput$", "2000000x"},
+	}
+	got := make(map[string]Benchmark)
+	for _, spec := range specs {
+		part, err := runBenchmarks(spec.pattern, spec.benchtime, *count, *short)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		if len(part) == 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks matched %q\n", spec.pattern)
+			os.Exit(1)
+		}
+		for name, b := range part {
+			got[name] = b
+		}
+	}
+
+	if *write {
+		b := Baseline{
+			Note:  "minimum of -count runs of `go test -bench -benchmem`; regenerate with: go run ./cmd/benchdiff -write",
+			Short: *short,
+			Count: *count,
+		}
+		for _, name := range sortedNames(got) {
+			b.Benchmarks = append(b.Benchmarks, got[name])
+		}
+		out, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*baseline, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *baseline, len(b.Benchmarks))
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if base.Short != *short {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline recorded with short=%v but check ran with short=%v\n", base.Short, *short)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, b := range base.Benchmarks {
+		g, ok := got[b.Name]
+		if !ok {
+			fmt.Printf("FAIL %s: benchmark missing from this run\n", b.Name)
+			failed = true
+			continue
+		}
+		timeRatio := g.NsPerOp / b.NsPerOp
+		allocRatio := ratio(g.AllocsPerOp, b.AllocsPerOp)
+		status := "ok  "
+		switch {
+		case allocRatio > 1+*allocTol:
+			status, failed = "FAIL", true
+		case !*allocsOnly && timeRatio > 1+*tolerance:
+			status, failed = "FAIL", true
+		}
+		fmt.Printf("%s %s: %.0f ns/op (baseline %.0f, %+.1f%%), %d allocs/op (baseline %d, %+.1f%%)\n",
+			status, b.Name, g.NsPerOp, b.NsPerOp, 100*(timeRatio-1),
+			g.AllocsPerOp, b.AllocsPerOp, 100*(allocRatio-1))
+	}
+	if failed {
+		fmt.Println("benchdiff: regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within tolerance")
+}
+
+// runBenchmarks shells out to `go test` and returns the best observation per
+// benchmark (name with the -GOMAXPROCS suffix stripped).
+func runBenchmarks(pattern, benchtime string, count int, short bool) (map[string]Benchmark, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), "."}
+	if short {
+		args = append(args, "-short")
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return parseBench(string(out))
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkRunnerSerial-16  1  951630154 ns/op  205174040 B/op  29821 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parseBench(out string) (map[string]Benchmark, error) {
+	res := make(map[string]Benchmark)
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		bytes, _ := strconv.ParseUint(m[3], 10, 64)
+		allocs, _ := strconv.ParseUint(m[4], 10, 64)
+		b := Benchmark{Name: m[1], NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+		if prev, ok := res[b.Name]; ok {
+			// Keep the per-field minimum: noise is strictly additive.
+			if prev.NsPerOp < b.NsPerOp {
+				b.NsPerOp = prev.NsPerOp
+			}
+			if prev.BytesPerOp < b.BytesPerOp {
+				b.BytesPerOp = prev.BytesPerOp
+			}
+			if prev.AllocsPerOp < b.AllocsPerOp {
+				b.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		res[b.Name] = b
+	}
+	return res, nil
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 2 // any allocation where the baseline had none is a regression
+	}
+	return float64(a) / float64(b)
+}
+
+func sortedNames(m map[string]Benchmark) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ { // insertion sort; the set is tiny
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -84,11 +84,16 @@ func (c Config) Validate() error {
 type Cache struct {
 	cfg       Config
 	nsets     uint64
+	assoc     uint64 // cfg.Assoc hoisted out of the nested struct
 	setMask   uint64 // nsets-1 when nsets is a power of two
 	pow2      bool
 	lineShift uint
 
-	// Flat way arrays, indexed by set*assoc + way.
+	// Flat way arrays, indexed by set*assoc + way. A tag encodes the line
+	// address and a validity bit as line<<1|1 (0 when the way is invalid),
+	// so the hot lookup is a single compare per way instead of a state
+	// check plus a tag check. states mirrors validity: states[i] == Invalid
+	// exactly when tags[i] == 0.
 	tags   []uint64
 	states []State
 	stamps []uint64
@@ -111,6 +116,7 @@ func New(cfg Config) *Cache {
 	c := &Cache{
 		cfg:    cfg,
 		nsets:  nsets,
+		assoc:  uint64(cfg.Assoc),
 		pow2:   nsets&(nsets-1) == 0,
 		tags:   make([]uint64, nsets*uint64(cfg.Assoc)),
 		states: make([]State, nsets*uint64(cfg.Assoc)),
@@ -134,12 +140,17 @@ func (c *Cache) setOf(line uint64) uint64 {
 	return idx % c.nsets
 }
 
+// tagOf encodes line as a stored tag: the validity bit in bit 0 makes an
+// invalid way (tag 0) unequal to every encoded line, including line 0.
+func tagOf(line uint64) uint64 { return line<<1 | 1 }
+
 // find returns the way index holding line within set, or -1.
 func (c *Cache) find(set, line uint64) int {
-	base := set * uint64(c.cfg.Assoc)
-	for w := 0; w < c.cfg.Assoc; w++ {
-		if c.states[base+uint64(w)] != Invalid && c.tags[base+uint64(w)] == line {
-			return int(base) + w
+	key := tagOf(line)
+	base := set * c.assoc
+	for i, end := base, base+c.assoc; i < end; i++ {
+		if c.tags[i] == key {
+			return int(i)
 		}
 	}
 	return -1
@@ -181,12 +192,11 @@ func (c *Cache) Insert(line uint64, st State) (victim uint64, vstate State) {
 		c.stamps[i] = c.clock
 		return 0, Invalid
 	}
-	base := set * uint64(c.cfg.Assoc)
+	base := set * c.assoc
 	victimIdx := base
 	oldest := ^uint64(0)
-	for w := 0; w < c.cfg.Assoc; w++ {
-		i := base + uint64(w)
-		if c.states[i] == Invalid {
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == 0 {
 			victimIdx = i
 			oldest = 0
 			break
@@ -196,8 +206,8 @@ func (c *Cache) Insert(line uint64, st State) (victim uint64, vstate State) {
 			victimIdx = i
 		}
 	}
-	victim, vstate = c.tags[victimIdx], c.states[victimIdx]
-	c.tags[victimIdx] = line
+	victim, vstate = c.tags[victimIdx]>>1, c.states[victimIdx]
+	c.tags[victimIdx] = tagOf(line)
 	c.states[victimIdx] = st
 	c.clock++
 	c.stamps[victimIdx] = c.clock
@@ -225,6 +235,7 @@ func (c *Cache) Invalidate(line uint64) State {
 	if i := c.find(c.setOf(line), line); i >= 0 {
 		st := c.states[i]
 		c.states[i] = Invalid
+		c.tags[i] = 0
 		return st
 	}
 	return Invalid
@@ -246,7 +257,7 @@ func (c *Cache) ResetStats() {
 func (c *Cache) ForEachResident(fn func(line uint64, st State)) {
 	for i := range c.tags {
 		if c.states[i] != Invalid {
-			fn(c.tags[i], c.states[i])
+			fn(c.tags[i]>>1, c.states[i])
 		}
 	}
 }

@@ -120,13 +120,14 @@ type Stats struct {
 }
 
 // Directory is the full-map directory for the whole machine. Entries are
-// held in one map keyed by line address; the home node of each line is a
-// function of the address, so a per-node split would only shard the map.
+// held in one open-addressed table keyed by line address; the home node of
+// each line is a function of the address, so a per-node split would only
+// shard the table.
 type Directory struct {
 	nodes   int
 	home    HomeFunc
 	peers   Peers
-	entries map[uint64]entry
+	entries *lineTable
 
 	// Migratory enables the migratory-sharing optimization (Cox & Fowler
 	// style, standard in directory protocols of the paper's era): a read
@@ -152,7 +153,7 @@ func New(nodes int, home HomeFunc, peers Peers) *Directory {
 		nodes:     nodes,
 		home:      home,
 		peers:     peers,
-		entries:   make(map[uint64]entry, 1<<18),
+		entries:   newLineTable(1 << 18),
 		Migratory: true,
 	}
 }
@@ -168,7 +169,11 @@ func (d *Directory) Home(line uint64) int { return d.home(line) }
 // downgrades a remote owner if necessary, and returns the classification and
 // the MESI state to install.
 func (d *Directory) Read(line uint64, node int) Result {
-	e := d.entries[line]
+	// ref gives one probe for the whole read-modify-write; the peer
+	// callbacks below never insert into the table, so the pointer stays
+	// valid across them.
+	p := d.entries.ref(line)
+	e := *p
 	homeNode := d.home(line)
 	res := Result{}
 
@@ -237,7 +242,7 @@ func (d *Directory) Read(line uint64, node int) Result {
 		d.Stats.ExclusiveGrant++
 	}
 
-	d.entries[line] = e
+	*p = e
 	d.Stats.Reads[res.Cat]++
 	return res
 }
@@ -245,7 +250,8 @@ func (d *Directory) Read(line uint64, node int) Result {
 // Write services a write miss or an upgrade for line by node: every other
 // copy is invalidated and node becomes the dirty owner.
 func (d *Directory) Write(line uint64, node int) Result {
-	e := d.entries[line]
+	p := d.entries.ref(line)
+	e := *p
 	homeNode := d.home(line)
 	res := Result{}
 
@@ -284,7 +290,7 @@ func (d *Directory) Write(line uint64, node int) Result {
 	e.owner = int8(node + 1)
 	e.dirty = true
 	e.inRAC = false
-	d.entries[line] = e
+	*p = e
 
 	d.Stats.Invalidations += uint64(res.Invalidations)
 	if res.Upgrade {
@@ -299,7 +305,7 @@ func (d *Directory) Write(line uint64, node int) Result {
 // WritebackDirty records that node evicted its dirty copy of line all the
 // way to home memory.
 func (d *Directory) WritebackDirty(line uint64, node int) {
-	e := d.entries[line]
+	e := d.entries.get(line)
 	if !e.hasOwner() || e.ownerNode() != node {
 		panic(fmt.Sprintf("coherence: writeback of line %#x by non-owner node %d", line, node))
 	}
@@ -313,7 +319,7 @@ func (d *Directory) WritebackDirty(line uint64, node int) {
 
 // EvictClean records a replacement hint: node dropped its clean copy.
 func (d *Directory) EvictClean(line uint64, node int) {
-	e := d.entries[line]
+	e := d.entries.get(line)
 	if e.hasOwner() && e.ownerNode() == node {
 		// Silently held E copy evicted; home memory is already current.
 		e.owner = 0
@@ -329,10 +335,8 @@ func (d *Directory) EvictClean(line uint64, node int) {
 // RAC. The node remains a sharer/owner; only the location flag changes, so a
 // later 3-hop request is charged the slower RAC-sourced latency.
 func (d *Directory) MoveToRAC(line uint64, node int) {
-	e := d.entries[line]
-	if e.hasOwner() && e.ownerNode() == node {
-		e.inRAC = true
-		d.entries[line] = e
+	if p := d.entries.find(line); p != nil && p.hasOwner() && p.ownerNode() == node {
+		p.inRAC = true
 	}
 	d.Stats.RACMigrations++
 }
@@ -340,16 +344,14 @@ func (d *Directory) MoveToRAC(line uint64, node int) {
 // MoveToL2 records the reverse migration (a RAC hit promoted the line back
 // into the node's L2).
 func (d *Directory) MoveToL2(line uint64, node int) {
-	e := d.entries[line]
-	if e.hasOwner() && e.ownerNode() == node && e.inRAC {
-		e.inRAC = false
-		d.entries[line] = e
+	if p := d.entries.find(line); p != nil && p.hasOwner() && p.ownerNode() == node && p.inRAC {
+		p.inRAC = false
 	}
 }
 
 // SharerCount returns how many nodes hold line (for tests and invariants).
 func (d *Directory) SharerCount(line uint64) int {
-	e := d.entries[line]
+	e := d.entries.get(line)
 	n := 0
 	for i := 0; i < d.nodes; i++ {
 		if e.sharers&bit(i) != 0 {
@@ -362,7 +364,7 @@ func (d *Directory) SharerCount(line uint64) int {
 // OwnerOf returns the owning node and whether its copy is dirty; owner is -1
 // when no node has M/E rights.
 func (d *Directory) OwnerOf(line uint64) (owner int, dirty bool) {
-	e := d.entries[line]
+	e := d.entries.get(line)
 	if !e.hasOwner() {
 		return -1, false
 	}
@@ -371,25 +373,25 @@ func (d *Directory) OwnerOf(line uint64) (owner int, dirty bool) {
 
 // OwnerInRAC reports whether the owner's copy is flagged as living in its
 // RAC.
-func (d *Directory) OwnerInRAC(line uint64) bool { return d.entries[line].inRAC }
+func (d *Directory) OwnerInRAC(line uint64) bool { return d.entries.get(line).inRAC }
 
 // IsSharer reports whether node holds a copy of line per the directory.
 func (d *Directory) IsSharer(line uint64, node int) bool {
-	return d.entries[line].sharers&bit(node) != 0
+	return d.entries.get(line).sharers&bit(node) != 0
 }
 
 // Entries returns the number of lines with non-default directory state.
-func (d *Directory) Entries() int { return len(d.entries) }
+func (d *Directory) Entries() int { return d.entries.live }
 
 // ResetStats zeroes protocol counters (after warmup) without touching state.
 func (d *Directory) ResetStats() { d.Stats = Stats{} }
 
 func (d *Directory) storeOrDelete(line uint64, e entry) {
 	if e.sharers == 0 && !e.hasOwner() {
-		delete(d.entries, line)
+		d.entries.del(line)
 		return
 	}
-	d.entries[line] = e
+	*d.entries.ref(line) = e
 }
 
 func bit(node int) uint64 { return 1 << uint(node) }

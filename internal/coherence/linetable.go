@@ -1,0 +1,146 @@
+package coherence
+
+// lineTable is the directory's line -> entry store: an open-addressed,
+// linear-probe hash table specialized for uint64 line addresses. The
+// generic Go map spent a measurable slice of the whole simulation hashing
+// and bucket-walking on every directory transaction (two map operations per
+// read-modify-write); this table costs one multiplicative hash and a short
+// contiguous probe, and ref() gives the read-modify-write paths a pointer so
+// they touch the table once.
+//
+// Behaviour is identical to the map it replaced: only keyed lookups are
+// performed (never iteration, so determinism cannot hinge on ordering), and
+// the zero entry means "uncached, clean at home" exactly as before.
+type lineTable struct {
+	keys    []uint64 // line<<1|1 when occupied, 0 when empty (no tombstones)
+	entries []entry
+	mask    uint64
+	shift   uint // 64 - log2(len(keys)), for fibonacci hashing
+	live    int
+}
+
+// fibMul is 2^64 / phi, the standard fibonacci-hashing multiplier; line
+// addresses are multiples of the cache line size, and the multiply spreads
+// those strided keys across the high bits the index is taken from.
+const fibMul = 0x9e3779b97f4a7c15
+
+func newLineTable(sizeHint int) *lineTable {
+	size := 1
+	for size < sizeHint*2 {
+		size <<= 1
+	}
+	if size < 1024 {
+		size = 1024
+	}
+	t := &lineTable{}
+	t.alloc(size)
+	return t
+}
+
+func (t *lineTable) alloc(size int) {
+	t.keys = make([]uint64, size)
+	t.entries = make([]entry, size)
+	t.mask = uint64(size - 1)
+	t.shift = 64
+	for s := size; s > 1; s >>= 1 {
+		t.shift--
+	}
+}
+
+func (t *lineTable) slotOf(key uint64) uint64 {
+	return (key * fibMul) >> t.shift
+}
+
+// find returns a pointer to line's entry, or nil if absent. The pointer is
+// valid only until the next insertion (growth moves entries).
+func (t *lineTable) find(line uint64) *entry {
+	key := line<<1 | 1
+	for i := t.slotOf(key); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case key:
+			return &t.entries[i]
+		case 0:
+			return nil
+		}
+	}
+}
+
+// get returns line's entry by value; absent lines read as the zero entry.
+func (t *lineTable) get(line uint64) entry {
+	if p := t.find(line); p != nil {
+		return *p
+	}
+	return entry{}
+}
+
+// ref returns a pointer to line's entry, inserting a zero entry if absent.
+// The pointer is valid only until the next insertion.
+func (t *lineTable) ref(line uint64) *entry {
+	if t.live*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	key := line<<1 | 1
+	for i := t.slotOf(key); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case key:
+			return &t.entries[i]
+		case 0:
+			t.keys[i] = key
+			t.entries[i] = entry{}
+			t.live++
+			return &t.entries[i]
+		}
+	}
+}
+
+// del removes line if present, using backward-shift deletion so the table
+// never accumulates tombstones: every element between the vacated slot and
+// the next empty slot that could have probed through the vacancy is moved
+// back into it.
+func (t *lineTable) del(line uint64) {
+	key := line<<1 | 1
+	i := t.slotOf(key)
+	for ; ; i = (i + 1) & t.mask {
+		if t.keys[i] == key {
+			break
+		}
+		if t.keys[i] == 0 {
+			return
+		}
+	}
+	t.live--
+	for j := i; ; {
+		j = (j + 1) & t.mask
+		if t.keys[j] == 0 {
+			break
+		}
+		// Element at j probed from home h. It may fill slot i only if i lies
+		// on its probe path, i.e. the cyclic distance from h to i does not
+		// exceed the distance from h to j.
+		h := t.slotOf(t.keys[j])
+		if (i-h)&t.mask <= (j-h)&t.mask {
+			t.keys[i] = t.keys[j]
+			t.entries[i] = t.entries[j]
+			i = j
+		}
+	}
+	t.keys[i] = 0
+	t.entries[i] = entry{}
+}
+
+func (t *lineTable) grow() {
+	oldKeys, oldEntries := t.keys, t.entries
+	t.alloc(len(oldKeys) * 2)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		for j := t.slotOf(k); ; j = (j + 1) & t.mask {
+			if t.keys[j] == 0 {
+				t.keys[j] = k
+				t.entries[j] = oldEntries[i]
+				break
+			}
+		}
+	}
+}

@@ -27,6 +27,16 @@ type Workload interface {
 	Committed() uint64
 }
 
+// RefSource is an optional fast path a Workload may implement: when its Next
+// is a pure delegation to a kernel.Scheduler, exposing the scheduler lets
+// the per-reference loop call it directly instead of dispatching through the
+// Workload interface and the delegation frame on every reference. Implement
+// it only if Next adds no logic around the scheduler — the system will
+// bypass Next entirely.
+type RefSource interface {
+	RefSource() *kernel.Scheduler
+}
+
 // coreCtx is one processor core: private L1s and a timing model. With
 // CoresPerChip == 1 (every paper configuration) a chip has exactly one.
 type coreCtx struct {
@@ -34,7 +44,14 @@ type coreCtx struct {
 	l1i   *cache.Cache
 	l1d   *cache.Cache
 	model cpu.Model
-	done  bool
+	// inorder is the devirtualized model when the configuration uses the
+	// in-order processor (every configuration except the Figure 13 OOO
+	// bars): Step issues direct calls through it instead of dispatching
+	// through the Model interface on every reference.
+	inorder *cpu.InOrder
+	// chip is the node this core belongs to, so the flattened Step scan can
+	// recover it without a parallel slice lookup.
+	chip *node
 }
 
 // node is one processor chip: cores sharing an L2 (and victim buffer/RAC),
@@ -66,11 +83,25 @@ type System struct {
 	cfg   Config
 	lat   LatencyTable
 	w     Workload
+	sched *kernel.Scheduler // non-nil when w implements RefSource
 	chips int
 	cores int // per chip
 
 	nodes []*node
-	dir   *coherence.Directory
+	// allCores flattens nodes[i].cores[j] in CPU-ID order so Step's
+	// earliest-core scan is one linear pass over a single slice.
+	allCores []*coreCtx
+	// clocks[i] mirrors allCores[i].model.Now(), with ^0 standing for a
+	// finished core, so the earliest-core scan touches one contiguous
+	// uint64 slice instead of dereferencing every coreCtx.
+	clocks []uint64
+	dir    *coherence.Directory
+
+	// latByCat / stallByCat are latFor/stallFor precomputed as arrays
+	// indexed by coherence.Category, so the per-miss category mapping is a
+	// load instead of a switch.
+	latByCat   [4]uint32
+	stallByCat [4]cpu.StallCat
 
 	// Contention layer (nil unless cfg.Contention).
 	mcs []*mem.Controller
@@ -93,6 +124,9 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	}
 	chips := cfg.Processors / cores
 	s := &System{cfg: cfg, lat: cfg.Latencies(), w: w, chips: chips, cores: cores}
+	if rs, ok := w.(RefSource); ok {
+		s.sched = rs.RefSource()
+	}
 	s.dir = coherence.New(chips, w.HomeOf, (*peers)(s))
 	s.dir.Migratory = !cfg.NoMigratory
 	for i := 0; i < chips; i++ {
@@ -112,6 +146,7 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 				cpuID: i*cores + c,
 				l1i:   cache.New(cfg.L1CacheConfig("L1I")),
 				l1d:   cache.New(cfg.L1CacheConfig("L1D")),
+				chip:  n,
 			}
 			if cfg.OutOfOrder {
 				cc.model = cpu.NewOOO(cpu.OOOConfig{
@@ -121,11 +156,26 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 					EffectiveWidth: cfg.OOO.EffectiveWidth,
 				})
 			} else {
-				cc.model = cpu.NewInOrder()
+				cc.inorder = cpu.NewInOrder()
+				cc.model = cc.inorder
 			}
 			n.cores = append(n.cores, cc)
+			s.allCores = append(s.allCores, cc)
+			s.clocks = append(s.clocks, 0)
 		}
 		s.nodes = append(s.nodes, n)
+	}
+	s.latByCat = [4]uint32{
+		coherence.CatLocal:          s.lat.Local,
+		coherence.CatRemoteClean:    s.lat.Remote,
+		coherence.CatRemoteDirty:    s.lat.RemoteDirty,
+		coherence.CatRemoteDirtyRAC: s.lat.RemoteDirtyRAC,
+	}
+	s.stallByCat = [4]cpu.StallCat{
+		coherence.CatLocal:          cpu.CatLocal,
+		coherence.CatRemoteClean:    cpu.CatRemote,
+		coherence.CatRemoteDirty:    cpu.CatRemoteDirty,
+		coherence.CatRemoteDirtyRAC: cpu.CatRemoteDirty,
 	}
 	if cfg.Contention {
 		s.net = noc.New(noc.DefaultConfig(chips))
@@ -163,6 +213,16 @@ func (s *System) L2(cpuID int) *cache.Cache { return s.chipOf(cpuID).l2 }
 // RACOf returns the RAC of the chip hosting cpuID (nil without one).
 func (s *System) RACOf(cpuID int) *rac.RAC { return s.chipOf(cpuID).rc }
 
+// L1I returns cpuID's instruction cache (tests, invariant checks).
+func (s *System) L1I(cpuID int) *cache.Cache {
+	return s.chipOf(cpuID).cores[cpuID%s.cores].l1i
+}
+
+// L1D returns cpuID's data cache (tests, invariant checks).
+func (s *System) L1D(cpuID int) *cache.Cache {
+	return s.chipOf(cpuID).cores[cpuID%s.cores].l1d
+}
+
 // Model returns cpuID's timing model.
 func (s *System) Model(cpuID int) cpu.Model {
 	return s.chipOf(cpuID).cores[cpuID%s.cores].model
@@ -180,33 +240,50 @@ func (s *System) Chips() int { return s.chips }
 // Step advances the earliest CPU by one reference. It returns false when
 // every CPU's workload is exhausted.
 func (s *System) Step() bool {
-	var n *node
-	var co *coreCtx
-	for _, chip := range s.nodes {
-		for _, cand := range chip.cores {
-			if cand.done {
-				continue
-			}
-			if co == nil || cand.model.Now() < co.model.Now() {
-				n, co = chip, cand
-			}
+	// Earliest-core scan over the mirrored clock slice: plain sequential
+	// loads rather than an interface Now() call per candidate. Strict
+	// less-than keeps the original tie-break (lowest CPU ID wins equal
+	// clocks), and the ^0 done sentinel never beats a live clock.
+	idx, best := -1, ^uint64(0)
+	for i, t := range s.clocks {
+		if t < best {
+			idx, best = i, t
 		}
 	}
-	if co == nil {
+	if idx < 0 {
 		return false
 	}
-	now := co.model.Now()
-	r, st, wake := s.w.Next(co.cpuID, now)
+	co := s.allCores[idx]
+	var r memref.Ref
+	var st kernel.Status
+	var wake uint64
+	if s.sched != nil {
+		r, st, wake = s.sched.Next(co.cpuID, best)
+	} else {
+		r, st, wake = s.w.Next(co.cpuID, best)
+	}
 	switch st {
 	case kernel.StatusDone:
-		co.done = true
+		s.clocks[idx] = ^uint64(0)
 		return true
 	case kernel.StatusIdle:
-		co.model.AdvanceTo(wake)
+		if m := co.inorder; m != nil {
+			m.AdvanceTo(wake)
+			s.clocks[idx] = m.Now()
+		} else {
+			co.model.AdvanceTo(wake)
+			s.clocks[idx] = co.model.Now()
+		}
 		return true
 	}
-	lat, cat := s.access(n, co, r)
-	co.model.Account(r, lat, cat)
+	lat, cat := s.access(co.chip, co, r)
+	if m := co.inorder; m != nil {
+		m.Account(r, lat, cat)
+		s.clocks[idx] = m.Now()
+	} else {
+		co.model.Account(r, lat, cat)
+		s.clocks[idx] = co.model.Now()
+	}
 	s.steps++
 	return true
 }
@@ -374,7 +451,7 @@ func (s *System) access(n *node, co *coreCtx, r memref.Ref) (uint32, cpu.StallCa
 		s.siblingInvalidate(n, co, line)
 		n.l2.SetState(line, cache.Modified)
 		s.fillL1(n, l1, line, cache.Modified)
-		return s.latFor(res.Cat), stallFor(res.Cat)
+		return s.latFor(res.Cat), s.stallFor(res.Cat)
 	}
 
 	// L2 miss: victim buffer (if configured).
@@ -387,7 +464,7 @@ func (s *System) access(n *node, co *coreCtx, r memref.Ref) (uint32, cpu.StallCa
 			n.miss.CountUpgrade(res.Cat)
 			s.insertL2(n, line, cache.Modified)
 			s.fillL1(n, l1, line, cache.Modified)
-			return s.latFor(res.Cat), stallFor(res.Cat)
+			return s.latFor(res.Cat), s.stallFor(res.Cat)
 		}
 		if write {
 			vst = cache.Modified
@@ -411,7 +488,7 @@ func (s *System) access(n *node, co *coreCtx, r memref.Ref) (uint32, cpu.StallCa
 				n.miss.CountUpgrade(res.Cat)
 				s.insertL2(n, line, cache.Modified)
 				s.fillL1(n, l1, line, cache.Modified)
-				return s.latFor(res.Cat), stallFor(res.Cat)
+				return s.latFor(res.Cat), s.stallFor(res.Cat)
 			}
 			st := rst
 			if write {
@@ -445,7 +522,7 @@ func (s *System) access(n *node, co *coreCtx, r memref.Ref) (uint32, cpu.StallCa
 	s.insertL2(n, line, res.Grant)
 	s.fillL1(n, l1, line, l1FillState(res.Grant, ifetch))
 	n.miss.Count(ifetch, res.Cat)
-	return s.contended(s.latFor(res.Cat), n.id, s.dir.Home(line), line), stallFor(res.Cat)
+	return s.contended(s.latFor(res.Cat), n.id, s.dir.Home(line), line), s.stallFor(res.Cat)
 }
 
 // siblingShare demotes other cores' exclusive L1 copies of line when a core
@@ -495,6 +572,8 @@ func (s *System) contended(base uint32, requester, home int, line uint64) uint32
 	if s.mcs == nil {
 		return base
 	}
+	// Read the model, not the clock mirror: the mirror holds the done
+	// sentinel once a core's workload is exhausted.
 	at := s.nodes[requester].cores[0].model.Now()
 	extra := s.mcs[home].Access(line, at)
 	if s.net != nil && requester != home {
@@ -581,33 +660,13 @@ func l1FillState(st cache.State, ifetch bool) cache.State {
 	}
 }
 
-// latFor maps a directory category to its latency.
-func (s *System) latFor(cat coherence.Category) uint32 {
-	switch cat {
-	case coherence.CatLocal:
-		return s.lat.Local
-	case coherence.CatRemoteClean:
-		return s.lat.Remote
-	case coherence.CatRemoteDirty:
-		return s.lat.RemoteDirty
-	case coherence.CatRemoteDirtyRAC:
-		return s.lat.RemoteDirtyRAC
-	default:
-		panic("core: unknown category")
-	}
-}
+// latFor maps a directory category to its latency via the precomputed table
+// (an out-of-range category panics on the bounds check, as the old switch
+// did on its default arm).
+func (s *System) latFor(cat coherence.Category) uint32 { return s.latByCat[cat] }
 
 // stallFor maps a directory category to its breakdown bucket.
-func stallFor(cat coherence.Category) cpu.StallCat {
-	switch cat {
-	case coherence.CatLocal:
-		return cpu.CatLocal
-	case coherence.CatRemoteClean:
-		return cpu.CatRemote
-	default:
-		return cpu.CatRemoteDirty
-	}
-}
+func (s *System) stallFor(cat coherence.Category) cpu.StallCat { return s.stallByCat[cat] }
 
 // peers adapts System to the directory's Peers interface (node == chip).
 type peers System

@@ -9,6 +9,7 @@ package experiments
 import (
 	"oltpsim/internal/core"
 	"oltpsim/internal/oltp"
+	"oltpsim/internal/sim"
 	"oltpsim/internal/stats"
 )
 
@@ -29,6 +30,14 @@ type Options struct {
 	// simulation is a pure function of (config, seed), so parallel results
 	// are bit-identical to serial ones, in the same order.
 	Workers int
+	// Zeta shares the Zipf harmonic-sum constants across the harness
+	// constructions of a sweep. Every bar rebuilds its engine from the same
+	// sizing parameters, so without the cache each bar redoes an O(database
+	// size) math.Pow loop for an identical result. The cached constants are
+	// bit-identical to freshly computed ones (and the cache is internally
+	// locked), so sharing it across RunMany workers never changes output.
+	// Nil is valid and means compute per harness.
+	Zeta *sim.ZetaCache
 }
 
 // DefaultOptions is the paper-fidelity protocol: measure 2000 transactions
@@ -37,12 +46,12 @@ type Options struct {
 // transactions, which takes a few thousand to populate the large metadata
 // arrays).
 func DefaultOptions() Options {
-	return Options{WarmupTxns: 3000, MeasureTxns: 2000, Seed: 0}
+	return Options{WarmupTxns: 3000, MeasureTxns: 2000, Seed: 0, Zeta: sim.NewZetaCache()}
 }
 
 // QuickOptions is a fast variant for tests and iteration.
 func QuickOptions() Options {
-	return Options{WarmupTxns: 150, MeasureTxns: 400, Seed: 0, Quick: true}
+	return Options{WarmupTxns: 150, MeasureTxns: 400, Seed: 0, Quick: true, Zeta: sim.NewZetaCache()}
 }
 
 // Params builds the workload parameters for a machine configuration.
@@ -58,6 +67,7 @@ func (o Options) Params(cfg core.Config) oltp.Params {
 	}
 	p.CodeReplication = cfg.CodeReplication
 	p.CoresPerChip = cfg.CoresPerChip
+	p.TPCB.Zeta = o.Zeta
 	return p
 }
 

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/stats"
+)
+
+// TestMetamorphicSeedOrderings is the metamorphic half of the invariant
+// layer: changing the workload seed changes every absolute number, but the
+// paper's qualitative conclusions are properties of the machine, not of one
+// reference stream. Two distinct seeds must therefore preserve the
+// orderings the figures argue from:
+//
+//  1. An integrated 2 MB 8-way L2 suffers no more misses per transaction
+//     than the off-chip 8 MB direct-mapped Base (Figure 8: associativity
+//     wins back what capacity loses, OLTP misses are mostly conflicts).
+//  2. Full integration is at least as fast as stopping at L2+MC
+//     (Figure 10: each integration step helps; the coherence/network step
+//     is the largest).
+//
+// The test also proves the seed actually propagates: the absolute cycle
+// counts of the two seeds must differ.
+func TestMetamorphicSeedOrderings(t *testing.T) {
+	o := QuickOptions()
+	cfgs := []core.Config{
+		label(core.BaseConfig(8, 8*core.MB, 1), "Base"),
+		label(core.IntegratedL2Config(8, 2*core.MB, 8, core.OnChipSRAM), "L2"),
+		label(core.L2MCConfig(8, 2*core.MB, 8), "L2+MC"),
+		label(core.FullConfig(8, 2*core.MB, 8), "All"),
+	}
+	seeds := []uint64{0xA11CE, 0xB0B5EED}
+
+	results := make(map[uint64][]stats.RunResult)
+	for _, seed := range seeds {
+		os := o
+		os.Seed = seed
+		results[seed] = os.RunMany(cfgs)
+	}
+
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%x", seed), func(t *testing.T) {
+			base, l2, l2mc, all := results[seed][0], results[seed][1], results[seed][2], results[seed][3]
+
+			// Ordering 1: on-chip 2M8w misses <= off-chip 8M1w misses.
+			if l2.MissesPerTxn() > base.MissesPerTxn() {
+				t.Errorf("2M8w on-chip misses/txn %.1f exceed 8M1w Base %.1f",
+					l2.MissesPerTxn(), base.MissesPerTxn())
+			}
+
+			// Ordering 2: the integration ladder is monotone at both ends —
+			// full integration beats L2+MC, and L2+MC beats Base.
+			if all.CyclesPerTxn() > l2mc.CyclesPerTxn() {
+				t.Errorf("full integration %.0f cycles/txn slower than L2+MC %.0f",
+					all.CyclesPerTxn(), l2mc.CyclesPerTxn())
+			}
+			if l2mc.CyclesPerTxn() > base.CyclesPerTxn() {
+				t.Errorf("L2+MC %.0f cycles/txn slower than Base %.0f",
+					l2mc.CyclesPerTxn(), base.CyclesPerTxn())
+			}
+			// Equivalently in speedup form (what Figure 10 plots).
+			if s, m := all.Speedup(&base), l2mc.Speedup(&base); s < m {
+				t.Errorf("full-integration speedup %.3f below L2+MC-only %.3f", s, m)
+			}
+		})
+	}
+
+	// The seeds produced genuinely different workloads.
+	a, b := results[seeds[0]], results[seeds[1]]
+	same := true
+	for i := range a {
+		if a[i].Breakdown.NonIdle() != b[i].Breakdown.NonIdle() || a[i].Miss.Total() != b[i].Miss.Total() {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("seeds %x and %x produced identical results; seed is not reaching the workload", seeds[0], seeds[1])
+	}
+
+	// And the same seed is reproducible: rerunning seed 0 of the Base config
+	// must match bit for bit (the determinism contract the parallel runner
+	// and the hot-path pooling rely on).
+	os := o
+	os.Seed = seeds[0]
+	again := os.Run(cfgs[0])
+	if again.Breakdown != a[0].Breakdown || again.Miss != a[0].Miss {
+		t.Error("rerunning the same (config, seed) did not reproduce the result")
+	}
+}

@@ -123,6 +123,10 @@ func (p *Proc) stateName() string {
 type cpuQueue struct {
 	cur   *Proc
 	procs []*Proc // every proc pinned to this CPU
+	// Pending context-switch overhead, kept inline so the per-reference
+	// fast path in Next touches only this struct.
+	swBuf RefBuffer
+	swPos int
 }
 
 // Scheduler multiplexes the processes pinned to each CPU, implementing the
@@ -135,8 +139,6 @@ type Scheduler struct {
 	quantum int // references per time slice
 	// switchRefs, when non-nil, appends the context-switch path to a buffer.
 	switchRefs func(cpu int, out *RefBuffer)
-	switchBuf  []RefBuffer // per-CPU pending switch overhead
-	switchPos  []int
 
 	// ContextSwitches counts scheduler-driven process changes.
 	ContextSwitches uint64
@@ -164,8 +166,6 @@ func NewScheduler(cpus, quantum int, switchRefs func(cpu int, out *RefBuffer)) *
 		cpus:       make([]cpuQueue, cpus),
 		quantum:    quantum,
 		switchRefs: switchRefs,
-		switchBuf:  make([]RefBuffer, cpus),
-		switchPos:  make([]int, cpus),
 	}
 }
 
@@ -198,9 +198,9 @@ func (s *Scheduler) Next(cpu int, now uint64) (r memref.Ref, st Status, wake uin
 	c := &s.cpus[cpu]
 	for {
 		// Pending context-switch overhead takes priority.
-		if s.switchPos[cpu] < len(s.switchBuf[cpu].Refs) {
-			r = s.switchBuf[cpu].Refs[s.switchPos[cpu]]
-			s.switchPos[cpu]++
+		if c.swPos < len(c.swBuf.Refs) {
+			r = c.swBuf.Refs[c.swPos]
+			c.swPos++
 			return r, StatusRef, 0
 		}
 
@@ -296,9 +296,9 @@ func (s *Scheduler) dispatch(c *cpuQueue, cpu int, now uint64) bool {
 	c.cur = best
 	s.ContextSwitches++
 	if s.switchRefs != nil {
-		s.switchBuf[cpu].Refs = s.switchBuf[cpu].Refs[:0]
-		s.switchPos[cpu] = 0
-		s.switchRefs(cpu, &s.switchBuf[cpu])
+		c.swBuf.Refs = c.swBuf.Refs[:0]
+		c.swPos = 0
+		s.switchRefs(cpu, &c.swBuf)
 	}
 	return true
 }

@@ -68,6 +68,17 @@ func (r Region) End() uint64 { return r.Base + r.Size }
 type AddressSpace struct {
 	nodes   int
 	regions []Region // sorted by Base
+	// bases/ends shadow regions' bounds in flat slices so the lookup binary
+	// search touches small contiguous memory instead of striding across the
+	// full Region structs.
+	bases []uint64
+	ends  []uint64
+	// last is the index of the most recently matched region. Reference
+	// streams have strong region locality (a code walk or a block touch
+	// issues runs of addresses in one region), so checking it first skips
+	// the search entirely most of the time. It only short-circuits to an
+	// identical answer, so lookups stay pure functions of the address.
+	last int
 }
 
 // NewAddressSpace creates an address space for a machine with nodes memories.
@@ -92,19 +103,43 @@ func (as *AddressSpace) AddRegion(r Region) {
 	}
 	as.regions = append(as.regions, r)
 	sort.Slice(as.regions, func(i, j int) bool { return as.regions[i].Base < as.regions[j].Base })
+	as.bases = as.bases[:0]
+	as.ends = as.ends[:0]
+	for i := range as.regions {
+		as.bases = append(as.bases, as.regions[i].Base)
+		as.ends = append(as.ends, as.regions[i].End())
+	}
+	as.last = 0
 }
 
 // RegionOf returns the region containing addr, or nil.
 func (as *AddressSpace) RegionOf(addr uint64) *Region {
-	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].Base > addr })
-	if i == 0 {
+	if len(as.bases) == 0 {
 		return nil
 	}
-	r := &as.regions[i-1]
-	if addr >= r.End() {
+	if i := as.last; addr >= as.bases[i] && addr < as.ends[i] {
+		return &as.regions[i]
+	}
+	// Manual binary search for the first base > addr; sort.Search's closure
+	// calls are too expensive for a per-reference lookup.
+	lo, hi := 0, len(as.bases)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if as.bases[mid] > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
 		return nil
 	}
-	return r
+	i := lo - 1
+	if addr >= as.ends[i] {
+		return nil
+	}
+	as.last = i
+	return &as.regions[i]
 }
 
 // HomeOf returns the home node of the line containing addr.

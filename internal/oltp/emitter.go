@@ -50,15 +50,21 @@ func (e *Emitter) SetOutput(out *kernel.RefBuffer, node int) {
 // SetKernel toggles kernel-mode attribution for subsequent references.
 func (e *Emitter) SetKernel(k bool) { e.kernelMode = k }
 
-// Code implements tpcb.Emitter: it walks the function's fetch lines.
+// Code implements tpcb.Emitter: it walks the function's fetch lines. The
+// replication rebase is hoisted out of the per-line closure: a function's
+// region is contiguous, so either every fetch line lands in the arena or
+// none does (the allocator panics on arena overflow, so a region cannot
+// straddle its end).
 func (e *Emitter) Code(fn *tpcb.CodeFn) {
 	kern := e.kernelMode || fn.Kernel
+	var rebase uint64
+	if e.replicate && fn.Base >= e.arenaBase && fn.Base < e.arenaBase+e.arenaSize {
+		rebase = uint64(e.node) * e.arenaSize
+	}
+	out := e.out
 	fn.Lines(func(addr uint64, instrs int) {
-		if e.replicate && addr >= e.arenaBase && addr < e.arenaBase+e.arenaSize {
-			addr += uint64(e.node) * e.arenaSize
-		}
-		e.out.Append(memref.Ref{
-			Addr:   addr,
+		out.Append(memref.Ref{
+			Addr:   addr + rebase,
 			Kind:   memref.IFetch,
 			Kernel: kern,
 			Instrs: uint16(instrs),

@@ -197,6 +197,10 @@ func (h *Harness) Next(cpu int, now uint64) (memref.Ref, kernel.Status, uint64) 
 	return h.sched.Next(cpu, now)
 }
 
+// RefSource implements core.RefSource: Next above is a pure delegation, so
+// the timing loop may call the scheduler directly.
+func (h *Harness) RefSource() *kernel.Scheduler { return h.sched }
+
 // HomeOf implements core.Workload.
 func (h *Harness) HomeOf(line uint64) int { return h.as.HomeOf(line) }
 

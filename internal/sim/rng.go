@@ -11,6 +11,7 @@ package sim
 import (
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // RNG is a splitmix64 pseudo-random generator. It is tiny, fast, and easy to
@@ -102,16 +103,73 @@ type Zipf struct {
 
 // NewZipf precomputes the constants for a Zipf(n, theta) distribution.
 func NewZipf(n int, theta float64) *Zipf {
+	return NewZipfCached(n, theta, nil)
+}
+
+// NewZipfCached is NewZipf with the O(n) harmonic-sum constant served from
+// cache when the cache already holds it. A nil cache always computes. The
+// constants are a pure function of (n, theta), so a cached Zipf draws a
+// bit-identical stream to an uncached one — the cache changes construction
+// cost only, never simulation output.
+func NewZipfCached(n int, theta float64, cache *ZetaCache) *Zipf {
 	if n <= 0 {
 		panic("sim: NewZipf with non-positive n")
 	}
 	z := &Zipf{n: n, theta: theta}
-	z.zetan = zeta(n, theta)
+	z.zetan = cache.zetan(n, theta)
 	z.zeta2 = zeta(2, theta)
 	z.alpha = 1.0 / (1.0 - theta)
 	z.eta = (1 - powF(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
 	z.halfPN = 1 + powF(0.5, theta)
 	return z
+}
+
+// ZetaCache memoizes the O(n) generalized harmonic sum zeta(n, theta) that
+// dominates Zipf construction (n is the shared-pool line count — hundreds of
+// thousands to millions of math.Pow calls per engine). Every experiment bar
+// builds its own engine from the same sizing parameters, so the sum is
+// recomputed with identical inputs once per bar; sharing one cache across a
+// sweep removes all but the first computation.
+//
+// The cache is deliberately NOT package-level state: it is created by
+// whoever owns a sweep (experiments.Options) and threaded through the
+// configuration, so independent runs stay pure functions of (config, seed) —
+// the determinism contract oltpvet enforces. The mutex makes it safe to
+// share across the parallel experiment runner's workers; since the cached
+// value is bit-identical to the recomputed one, hit/miss interleaving cannot
+// affect results.
+type ZetaCache struct {
+	mu sync.Mutex
+	m  map[zetaKey]float64
+}
+
+type zetaKey struct {
+	n     int
+	theta float64
+}
+
+// NewZetaCache returns an empty cache ready for concurrent use.
+func NewZetaCache() *ZetaCache { return &ZetaCache{m: make(map[zetaKey]float64)} }
+
+// zetan returns zeta(n, theta), memoized. A nil receiver computes directly.
+func (c *ZetaCache) zetan(n int, theta float64) float64 {
+	if c == nil {
+		return zeta(n, theta)
+	}
+	k := zetaKey{n: n, theta: theta}
+	c.mu.Lock()
+	v, ok := c.m[k]
+	c.mu.Unlock()
+	if ok {
+		return v
+	}
+	// Compute outside the lock: a concurrent first miss does duplicate work
+	// but both goroutines store the identical value.
+	v = zeta(n, theta)
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+	return v
 }
 
 // Next draws the next rank in [0, n); rank 0 is the hottest item.

@@ -42,16 +42,21 @@ type CodeFn struct {
 // to produce IFetch refs.
 func (f *CodeFn) Lines(visit func(addr uint64, instrs int)) {
 	n := (f.PathInstrs + InstrsPerLine - 1) / InstrsPerLine
-	start := f.pos
+	line := f.pos
 	remaining := f.PathInstrs
 	for i := 0; i < n; i++ {
-		line := (start + i) % f.SizeLines
+		// Wraparound by subtraction instead of a divide per line: line
+		// enters each iteration at most SizeLines past the region end.
+		if line >= f.SizeLines {
+			line -= f.SizeLines
+		}
 		instrs := InstrsPerLine
 		if remaining < InstrsPerLine {
 			instrs = remaining
 		}
 		remaining -= instrs
 		visit(f.Base+uint64(line)*memref.LineBytes, instrs)
+		line++
 	}
 	f.Advance()
 }

@@ -130,10 +130,10 @@ func NewEngine(cfg Config, alloc Allocator, em Emitter, seed uint64) (*Engine, e
 
 	e.sharedPoolBase = alloc.Alloc("sga.shared_pool", uint64(cfg.SharedPoolBytes), KindShared)
 	e.sharedPoolLines = cfg.SharedPoolBytes / memref.LineBytes
-	e.poolZipf = sim.NewZipf(e.sharedPoolLines, 0.93)
+	e.poolZipf = sim.NewZipfCached(e.sharedPoolLines, 0.93, cfg.Zeta)
 	e.rowCacheBase = alloc.Alloc("sga.row_cache", 512<<10, KindShared)
 	e.rowCacheLines = (512 << 10) / memref.LineBytes
-	e.rcZipf = sim.NewZipf(e.rowCacheLines, 0.65)
+	e.rcZipf = sim.NewZipfCached(e.rowCacheLines, 0.65, cfg.Zeta)
 	// Scatter the per-statement cursors (and their migratory stats lines)
 	// across distinct pages of the shared pool so their NUMA homes spread,
 	// as they would inside a real library cache.
