@@ -9,16 +9,17 @@
 //   - allocs/op is deterministic for a deterministic simulator, so ANY
 //     increase beyond -alloc-tolerance is a real regression and always
 //     fails the check, on any machine.
-//   - ns/op is machine-dependent, so the time check (-tolerance, default
+//   - ns/op is machine-dependent, so the time check (-threshold, default
 //     10%) is meaningful on hardware comparable to the baseline's; pass
 //     -allocs-only to skip it entirely (the blocking CI step does this,
 //     the advisory step runs the full comparison).
 //
 // Usage:
 //
-//	go run ./cmd/benchdiff -write            # record baseline BENCH_pr3.json
+//	go run ./cmd/benchdiff -write            # record baseline BENCH_pr5.json
 //	go run ./cmd/benchdiff -check            # fail on time or alloc regression
 //	go run ./cmd/benchdiff -check -allocs-only
+//	go run ./cmd/benchdiff -check -threshold 25
 package main
 
 import (
@@ -55,10 +56,10 @@ func main() {
 	var (
 		write      = flag.Bool("write", false, "record the baseline instead of checking against it")
 		check      = flag.Bool("check", false, "compare against the committed baseline")
-		baseline   = flag.String("baseline", "BENCH_pr3.json", "baseline file path")
+		baseline   = flag.String("baseline", "BENCH_pr5.json", "baseline file path")
 		count      = flag.Int("count", 3, "repetitions; the minimum per benchmark is used")
 		short      = flag.Bool("short", true, "run benchmarks in -short mode")
-		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression")
+		threshold  = flag.Float64("threshold", 10, "allowed ns/op regression in percent")
 		allocTol   = flag.Float64("alloc-tolerance", 0.01, "allowed fractional allocs/op regression")
 		allocsOnly = flag.Bool("allocs-only", false, "skip the machine-dependent ns/op comparison")
 	)
@@ -78,6 +79,8 @@ func main() {
 		benchtime string
 	}{
 		{"^BenchmarkRunnerSerial$", "1x"},
+		{"^BenchmarkRunnerColdRepeat$", "1x"},
+		{"^BenchmarkRunnerWarmReuse$", "1x"},
 		{"^BenchmarkSimulationThroughput$", "2000000x"},
 	}
 	got := make(map[string]Benchmark)
@@ -133,11 +136,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	lines, failed := compare(base.Benchmarks, got, *threshold, *allocTol, *allocsOnly)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	if failed {
+		fmt.Println("benchdiff: regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within tolerance")
+}
+
+// compare checks fresh observations against the baseline benchmarks,
+// returning one report line per baseline entry and whether anything
+// regressed. threshold is the allowed ns/op regression in percent; allocTol
+// the allowed fractional allocs/op regression; allocsOnly skips the
+// machine-dependent time comparison.
+func compare(base []Benchmark, got map[string]Benchmark, threshold, allocTol float64, allocsOnly bool) ([]string, bool) {
+	var lines []string
 	failed := false
-	for _, b := range base.Benchmarks {
+	for _, b := range base {
 		g, ok := got[b.Name]
 		if !ok {
-			fmt.Printf("FAIL %s: benchmark missing from this run\n", b.Name)
+			lines = append(lines, fmt.Sprintf("FAIL %s: benchmark missing from this run", b.Name))
 			failed = true
 			continue
 		}
@@ -145,20 +166,16 @@ func main() {
 		allocRatio := ratio(g.AllocsPerOp, b.AllocsPerOp)
 		status := "ok  "
 		switch {
-		case allocRatio > 1+*allocTol:
+		case allocRatio > 1+allocTol:
 			status, failed = "FAIL", true
-		case !*allocsOnly && timeRatio > 1+*tolerance:
+		case !allocsOnly && timeRatio > 1+threshold/100:
 			status, failed = "FAIL", true
 		}
-		fmt.Printf("%s %s: %.0f ns/op (baseline %.0f, %+.1f%%), %d allocs/op (baseline %d, %+.1f%%)\n",
+		lines = append(lines, fmt.Sprintf("%s %s: %.0f ns/op (baseline %.0f, %+.1f%%), %d allocs/op (baseline %d, %+.1f%%)",
 			status, b.Name, g.NsPerOp, b.NsPerOp, 100*(timeRatio-1),
-			g.AllocsPerOp, b.AllocsPerOp, 100*(allocRatio-1))
+			g.AllocsPerOp, b.AllocsPerOp, 100*(allocRatio-1)))
 	}
-	if failed {
-		fmt.Println("benchdiff: regression detected")
-		os.Exit(1)
-	}
-	fmt.Println("benchdiff: within tolerance")
+	return lines, failed
 }
 
 // runBenchmarks shells out to `go test` and returns the best observation per

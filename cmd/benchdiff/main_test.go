@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompare pins the regression policy: the -threshold flag governs the
+// machine-dependent time check, -alloc-tolerance the deterministic alloc
+// check, and -allocs-only disables only the former.
+func TestCompare(t *testing.T) {
+	base := []Benchmark{{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 100}}
+	obs := func(ns float64, allocs uint64) map[string]Benchmark {
+		return map[string]Benchmark{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: ns, AllocsPerOp: allocs}}
+	}
+	cases := []struct {
+		name       string
+		base       []Benchmark
+		got        map[string]Benchmark
+		threshold  float64
+		allocTol   float64
+		allocsOnly bool
+		wantFailed bool
+		wantLine   string
+	}{
+		{"identical", base, obs(1000, 100), 10, 0.01, false, false, "ok  "},
+		{"faster is fine", base, obs(500, 100), 10, 0.01, false, false, "ok  "},
+		{"time within threshold", base, obs(1050, 100), 10, 0.01, false, false, "ok  "},
+		{"time beyond threshold", base, obs(1150, 100), 10, 0.01, false, true, "FAIL"},
+		{"raised threshold admits it", base, obs(1150, 100), 25, 0.01, false, false, "ok  "},
+		{"tightened threshold rejects it", base, obs(1050, 100), 2, 0.01, false, true, "FAIL"},
+		{"allocs-only skips time check", base, obs(2000, 100), 10, 0.01, true, false, "ok  "},
+		{"alloc regression", base, obs(1000, 110), 10, 0.01, false, true, "FAIL"},
+		{"alloc regression despite allocs-only", base, obs(1000, 110), 10, 0.01, true, true, "FAIL"},
+		{"alloc within tolerance", base, obs(1000, 100), 10, 0.15, false, false, "ok  "},
+		{"missing benchmark", base, map[string]Benchmark{}, 10, 0.01, false, true, "missing"},
+		{
+			"allocation where baseline had none",
+			[]Benchmark{{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 0}},
+			obs(1000, 1), 10, 0.01, false, true, "FAIL",
+		},
+		{"empty baseline", nil, obs(1000, 100), 10, 0.01, false, false, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lines, failed := compare(tc.base, tc.got, tc.threshold, tc.allocTol, tc.allocsOnly)
+			if failed != tc.wantFailed {
+				t.Fatalf("failed = %v, want %v (lines: %v)", failed, tc.wantFailed, lines)
+			}
+			if len(lines) != len(tc.base) {
+				t.Fatalf("%d report lines for %d baseline entries", len(lines), len(tc.base))
+			}
+			if tc.wantLine != "" && !strings.Contains(lines[0], tc.wantLine) {
+				t.Fatalf("line %q does not contain %q", lines[0], tc.wantLine)
+			}
+		})
+	}
+}
+
+// TestCompareExtraObservations: benchmarks present in the run but absent from
+// the baseline are ignored — the baseline defines the guarded set.
+func TestCompareExtraObservations(t *testing.T) {
+	base := []Benchmark{{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 10}}
+	got := map[string]Benchmark{
+		"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkY": {Name: "BenchmarkY", NsPerOp: 9999, AllocsPerOp: 9999},
+	}
+	lines, failed := compare(base, got, 10, 0.01, false)
+	if failed || len(lines) != 1 {
+		t.Fatalf("failed=%v lines=%v, want one passing line", failed, lines)
+	}
+}

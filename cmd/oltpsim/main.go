@@ -11,20 +11,27 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"oltpsim/internal/cli"
+	"oltpsim/internal/core"
 	"oltpsim/internal/experiments"
+	"oltpsim/internal/oltp"
+	"oltpsim/internal/stats"
 )
 
 func main() {
 	var (
-		spec    cli.MachineSpec
-		warmup  = flag.Uint64("warmup", 3000, "warmup transactions")
-		measure = flag.Uint64("txns", 2000, "measured transactions")
-		quick   = flag.Bool("quick", false, "scaled-down database for fast runs")
+		spec       cli.MachineSpec
+		warmup     = flag.Uint64("warmup", 3000, "warmup transactions")
+		measure    = flag.Uint64("txns", 2000, "measured transactions")
+		quick      = flag.Bool("quick", false, "scaled-down database for fast runs")
+		checkpoint = flag.String("checkpoint", "", "write a machine-state checkpoint to this file (at end of warmup, and during measurement with -checkpoint-every)")
+		ckptEvery  = flag.Uint64("checkpoint-every", 0, "with -checkpoint, rewrite the checkpoint every N committed transactions during measurement")
+		resume     = flag.String("resume", "", "resume from a checkpoint file written with the same configuration flags")
 	)
 	flag.IntVar(&spec.Procs, "procs", 1, "processor count (1 or 8 in the paper)")
 	flag.StringVar(&spec.Level, "level", "base", "integration level: cons|base|l2|l2mc|full")
@@ -37,6 +44,11 @@ func main() {
 	flag.IntVar(&spec.Cores, "cores", 1, "cores per chip (CMP extension; 1 = paper)")
 	flag.Parse()
 
+	if *ckptEvery > 0 && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "oltpsim: -checkpoint-every requires -checkpoint")
+		os.Exit(2)
+	}
+
 	cfg, err := cli.Build(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oltpsim:", err)
@@ -48,10 +60,80 @@ func main() {
 	opt.MeasureTxns = *measure
 	opt.Quick = *quick
 
-	res := opt.Run(cfg)
+	var res stats.RunResult
+	if *checkpoint == "" && *resume == "" {
+		res = opt.Run(cfg)
+	} else {
+		res, err = runCheckpointed(opt, cfg, *resume, *checkpoint, *ckptEvery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oltpsim:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("configuration: %s (%s, %d processor(s))\n", cfg.Name, cfg.Level, cfg.Processors)
 	lat := cfg.Latencies()
 	fmt.Printf("latencies: L2 hit %d, local %d, remote %d, remote dirty %d\n",
 		lat.L2Hit, lat.Local, lat.Remote, lat.RemoteDirty)
 	fmt.Print(res.Summary())
+}
+
+// runCheckpointed executes the warmup/measure protocol with checkpoint
+// and/or resume. The step sequence is identical to experiments.Options.Run
+// (checkpoint writes are read-only), so a resumed run's output is
+// bit-identical to an uninterrupted one.
+func runCheckpointed(opt experiments.Options, cfg core.Config, resumePath, checkpointPath string, every uint64) (stats.RunResult, error) {
+	h := oltp.MustNewHarness(opt.Params(cfg))
+	sys := core.MustNewSystem(cfg, h)
+	var measureBase uint64
+	if resumePath != "" {
+		data, err := os.ReadFile(resumePath)
+		if err != nil {
+			return stats.RunResult{}, err
+		}
+		phase, base, err := experiments.LoadCheckpoint(bytes.NewReader(data), sys)
+		if err != nil {
+			return stats.RunResult{}, fmt.Errorf("resume %s: %w", resumePath, err)
+		}
+		if phase == experiments.CheckpointWarmed {
+			measureBase = h.Committed()
+			sys.ResetStats()
+		} else {
+			measureBase = base
+		}
+	} else {
+		sys.RunUntil(opt.WarmupTxns)
+		if checkpointPath != "" {
+			if err := writeCheckpoint(checkpointPath, sys, experiments.CheckpointWarmed, 0); err != nil {
+				return stats.RunResult{}, err
+			}
+		}
+		measureBase = h.Committed()
+		sys.ResetStats()
+	}
+	target := measureBase + opt.MeasureTxns
+	if checkpointPath != "" && every > 0 {
+		for h.Committed() < target {
+			next := h.Committed() + every
+			if next > target {
+				next = target
+			}
+			sys.RunUntil(next)
+			if err := writeCheckpoint(checkpointPath, sys, experiments.CheckpointMeasuring, measureBase); err != nil {
+				return stats.RunResult{}, err
+			}
+		}
+	} else {
+		sys.RunUntil(target)
+	}
+	res := sys.Collect(cfg.Name, h.Committed()-measureBase)
+	res.Name = cfg.Name
+	return res, nil
+}
+
+func writeCheckpoint(path string, sys *core.System, phase uint8, measureBase uint64) error {
+	var buf bytes.Buffer
+	if err := experiments.SaveCheckpoint(&buf, sys, phase, measureBase); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"oltpsim/internal/kernel"
@@ -27,27 +28,59 @@ func main() {
 	)
 	flag.Parse()
 
-	p := oltp.DefaultParams(*cpus)
-	if *quick {
-		p = oltp.TestParams(*cpus)
-	}
-	h, err := oltp.NewHarness(p)
-	if err != nil {
+	if err := validate(*cpus, *cpu, *n, *skip); err != nil {
 		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		flag.Usage()
 		os.Exit(2)
 	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	fmt.Fprintln(w, "seq,cpu,kind,addr,line,home,kernel,dep,instrs")
+	if err := run(w, *cpus, *cpu, *n, *skip, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(2)
+	}
+}
 
-	clocks := make([]uint64, *cpus)
+// validate rejects flag combinations the dump loop would misinterpret.
+func validate(cpus, cpu, n, skip int) error {
+	if cpus < 1 {
+		return fmt.Errorf("-cpus must be >= 1 (got %d)", cpus)
+	}
+	if cpu < 0 || cpu >= cpus {
+		return fmt.Errorf("-cpu must be in [0,%d) (got %d)", cpus, cpu)
+	}
+	if n < 0 {
+		return fmt.Errorf("-n must be >= 0 (got %d)", n)
+	}
+	if skip < 0 {
+		return fmt.Errorf("-skip must be >= 0 (got %d)", skip)
+	}
+	return nil
+}
+
+// run drives a fresh harness and writes n references of the chosen CPU's
+// stream as CSV. The output is a pure function of the arguments: the harness
+// is seeded deterministically and CPUs advance in global time order.
+func run(out io.Writer, cpus, cpu, n, skip int, quick bool) error {
+	p := oltp.DefaultParams(cpus)
+	if quick {
+		p = oltp.TestParams(cpus)
+	}
+	h, err := oltp.NewHarness(p)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "seq,cpu,kind,addr,line,home,kernel,dep,instrs")
+
+	clocks := make([]uint64, cpus)
 	emitted, seen := 0, 0
-	for emitted < *n {
+	for emitted < n {
 		// Drive every CPU in global time order (commits depend on the log
 		// writer's progress).
 		c := 0
-		for i := 1; i < *cpus; i++ {
+		for i := 1; i < cpus; i++ {
 			if clocks[i] < clocks[c] {
 				c = i
 			}
@@ -56,21 +89,22 @@ func main() {
 		switch st {
 		case kernel.StatusRef:
 			clocks[c] += uint64(r.Instrs) + 1
-			if c != *cpu {
+			if c != cpu {
 				continue
 			}
 			seen++
-			if seen <= *skip {
+			if seen <= skip {
 				continue
 			}
-			fmt.Fprintf(w, "%d,%d,%s,%#x,%#x,%d,%t,%t,%d\n",
+			fmt.Fprintf(out, "%d,%d,%s,%#x,%#x,%d,%t,%t,%d\n",
 				seen, c, r.Kind, r.Addr, r.Line(),
 				h.HomeOf(r.Line()), r.Kernel, r.DepPrev, r.Instrs)
 			emitted++
 		case kernel.StatusIdle:
 			clocks[c] = wake
 		default:
-			return
+			return nil
 		}
 	}
+	return nil
 }

@@ -375,10 +375,7 @@ func (s *System) Collect(name string, txns uint64) stats.RunResult {
 // and return the result.
 func (s *System) Run(warmupTxns, measureTxns uint64) stats.RunResult {
 	s.RunUntil(warmupTxns)
-	base := s.w.Committed()
-	s.ResetStats()
-	s.RunUntil(base + measureTxns)
-	return s.Collect(s.cfg.Name, s.w.Committed()-base)
+	return s.RunMeasured(measureTxns)
 }
 
 // access walks one reference through the memory hierarchy, mutating cache

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/snapshot"
+)
+
+// Checkpoint phases record where in the warmup/measure protocol a snapshot
+// was taken, so a resumed process knows whether statistics still need their
+// post-warmup reset.
+const (
+	// CheckpointWarmed marks a checkpoint taken at the end of warmup, before
+	// the statistics reset: resuming starts the measurement phase afresh.
+	CheckpointWarmed uint8 = 1
+	// CheckpointMeasuring marks a mid-measurement checkpoint: statistics are
+	// already accumulating and resuming continues without a reset.
+	CheckpointMeasuring uint8 = 2
+)
+
+// SaveCheckpoint writes the machine state plus the protocol position.
+// measureBase is the committed-transaction count at the statistics reset
+// (meaningful only for CheckpointMeasuring).
+func SaveCheckpoint(out io.Writer, sys *core.System, phase uint8, measureBase uint64) error {
+	if phase != CheckpointWarmed && phase != CheckpointMeasuring {
+		return fmt.Errorf("experiments: invalid checkpoint phase %d", phase)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		return err
+	}
+	w := snapshot.NewWriter()
+	e := w.Section("protocol")
+	e.U8(phase)
+	e.U64(measureBase)
+	w.Section("system").U8s(buf.Bytes())
+	return w.Emit(out)
+}
+
+// LoadCheckpoint restores a checkpoint into a system built from the
+// identical configuration and returns the protocol position. On error the
+// system may be partially restored and must be discarded.
+func LoadCheckpoint(in io.Reader, sys *core.System) (phase uint8, measureBase uint64, err error) {
+	r, err := snapshot.NewReader(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := r.Section("protocol")
+	if err != nil {
+		return 0, 0, err
+	}
+	phase = d.U8()
+	measureBase = d.U64()
+	if err := d.Finish(); err != nil {
+		return 0, 0, err
+	}
+	if phase != CheckpointWarmed && phase != CheckpointMeasuring {
+		return 0, 0, fmt.Errorf("experiments: checkpoint has invalid phase %d", phase)
+	}
+	d, err = r.Section("system")
+	if err != nil {
+		return 0, 0, err
+	}
+	payload := d.U8s()
+	if err := d.Finish(); err != nil {
+		return 0, 0, err
+	}
+	if err := r.Finish(); err != nil {
+		return 0, 0, err
+	}
+	if err := sys.Load(bytes.NewReader(payload)); err != nil {
+		return 0, 0, err
+	}
+	return phase, measureBase, nil
+}

@@ -30,6 +30,14 @@ type Options struct {
 	// simulation is a pure function of (config, seed), so parallel results
 	// are bit-identical to serial ones, in the same order.
 	Workers int
+	// WarmSnapshot, when non-nil, shares end-of-warmup machine snapshots
+	// between the runs of a sweep: configurations with an identical machine
+	// shape and seed fork their measurement phases from one warm state
+	// instead of each re-running the warmup. Restoring a snapshot is
+	// bit-identical to re-running the warmup, so results do not depend on
+	// the cache; nil (the default, used for all committed figures) keeps the
+	// traditional warm-every-run path.
+	WarmSnapshot *WarmCache
 	// Zeta shares the Zipf harmonic-sum constants across the harness
 	// constructions of a sweep. Every bar rebuilds its engine from the same
 	// sizing parameters, so without the cache each bar redoes an O(database
@@ -71,11 +79,20 @@ func (o Options) Params(cfg core.Config) oltp.Params {
 	return p
 }
 
+// build assembles the machine for one configuration.
+func (o Options) build(cfg core.Config) *core.System {
+	return core.MustNewSystem(cfg, oltp.MustNewHarness(o.Params(cfg)))
+}
+
 // Run executes one configuration under the protocol.
 func (o Options) Run(cfg core.Config) stats.RunResult {
-	h := oltp.MustNewHarness(o.Params(cfg))
-	sys := core.MustNewSystem(cfg, h)
-	res := sys.Run(o.WarmupTxns, o.MeasureTxns)
+	sys := o.build(cfg)
+	var res stats.RunResult
+	if o.WarmSnapshot != nil && !cfg.Classify {
+		res = o.runWarm(cfg, sys)
+	} else {
+		res = sys.Run(o.WarmupTxns, o.MeasureTxns)
+	}
 	res.Name = cfg.Name
 	return res
 }

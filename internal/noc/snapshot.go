@@ -1,0 +1,30 @@
+package noc
+
+import (
+	"fmt"
+
+	"oltpsim/internal/snapshot"
+)
+
+// SaveState writes the link reservation horizon and the counters.
+func (n *Network) SaveState(e *snapshot.Encoder) {
+	e.U64s(n.linkBusy)
+	e.U64(n.Stats.Messages)
+	e.U64(n.Stats.HopsTotal)
+	e.U64(n.Stats.QueueCycles)
+}
+
+// LoadState restores a network of identical topology.
+func (n *Network) LoadState(d *snapshot.Decoder) error {
+	busy := d.U64s()
+	stats := Stats{Messages: d.U64(), HopsTotal: d.U64(), QueueCycles: d.U64()}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(busy) != len(n.linkBusy) {
+		return fmt.Errorf("noc: snapshot has %d links, want %d", len(busy), len(n.linkBusy))
+	}
+	copy(n.linkBusy, busy)
+	n.Stats = stats
+	return nil
+}

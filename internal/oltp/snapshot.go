@@ -1,0 +1,177 @@
+package oltp
+
+import (
+	"fmt"
+
+	"oltpsim/internal/kernel"
+	"oltpsim/internal/snapshot"
+)
+
+// Drain tags name the two OnDrain closures a server process can hold when a
+// snapshot is taken; the closures themselves cannot be serialized, so the tag
+// is saved and the closure rebuilt against the restored harness on load.
+const (
+	drainTagCommitWait = 1 // commit wait: signal the log writer at drain time
+	drainTagCommitted  = 2 // transaction durable: count it committed
+)
+
+// serverOf maps a process back to its server generator. The spawn order is
+// fixed (log writer ID 0, database writer ID 1, servers from ID 2 in CPU
+// order), so a server's slot is its process ID minus the two daemons.
+func (h *Harness) serverOf(p *kernel.Proc) *serverGen {
+	idx := p.ID - 2
+	if idx < 0 || idx >= len(h.servers) || h.servers[idx].proc != p {
+		return nil
+	}
+	return h.servers[idx]
+}
+
+// drainTag implements the kernel.Scheduler save hook. Only servers arm
+// OnDrain closures, and the server's phase says which of the two it was: the
+// transaction phase ends by arming the commit wait, the committed phase ends
+// by arming the commit count.
+func (h *Harness) drainTag(p *kernel.Proc) uint8 {
+	g := h.serverOf(p)
+	if g == nil {
+		return 0
+	}
+	if g.phase == serverPhaseCommitted {
+		return drainTagCommitWait
+	}
+	return drainTagCommitted
+}
+
+// rebindDrain implements the kernel.Scheduler load hook: it rebuilds the
+// closure a drain tag stood for, closing over the restored generator exactly
+// as NextSegment would have.
+func (h *Harness) rebindDrain(p *kernel.Proc, tag uint8) (func(uint64), error) {
+	g := h.serverOf(p)
+	if g == nil {
+		return nil, fmt.Errorf("oltp: drain tag %d on non-server process %q", tag, p.Name)
+	}
+	switch tag {
+	case drainTagCommitWait:
+		return func(drain uint64) {
+			g.h.lgwr.requestFlush(g, g.waitLSN, drain)
+		}, nil
+	case drainTagCommitted:
+		return func(uint64) {
+			g.h.committed++
+		}, nil
+	default:
+		return nil, fmt.Errorf("oltp: unknown drain tag %d on %q", tag, p.Name)
+	}
+}
+
+// SaveState writes the complete workload state: the commit count, every
+// server's RNG and transaction position, the daemon state machines, the
+// kernel code-walk cursors, the database engine, and the process scheduler.
+// Address-space layout, emitter configuration, and semaphore addresses are
+// construction-derived and not state.
+func (h *Harness) SaveState(e *snapshot.Encoder) {
+	e.U64(h.committed)
+	e.Int(len(h.servers))
+	for _, g := range h.servers {
+		e.U64(g.waitLSN)
+		e.Int(g.phase)
+		g.rng.SaveState(e)
+		g.sess.SaveState(e)
+	}
+	e.Int(len(h.lgwr.waiters))
+	for _, w := range h.lgwr.waiters {
+		e.Int(w.g.id)
+		e.U64(w.lsn)
+	}
+	e.Bool(h.lgwr.pending)
+	e.U64(h.lgwr.ioTarget)
+	e.Int(h.lgwr.phase)
+	e.U64(h.lgwr.Flushes)
+	e.U64(h.lgwr.GroupedCommits)
+	e.Int(h.dbwr.phase)
+	e.U64(h.dbwr.Writes)
+	for _, f := range h.kc.all {
+		f.SaveState(e)
+	}
+	h.eng.SaveState(e)
+	h.sched.SaveState(e, h.drainTag)
+}
+
+// LoadState restores a harness built from the identical parameters.
+func (h *Harness) LoadState(d *snapshot.Decoder) error {
+	committed := d.U64()
+	if n := d.Int(); d.Err() == nil && n != len(h.servers) {
+		return fmt.Errorf("oltp: snapshot has %d servers, want %d", n, len(h.servers))
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	for _, g := range h.servers {
+		waitLSN := d.U64()
+		phase := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if phase != serverPhaseTxn && phase != serverPhaseCommitted {
+			return fmt.Errorf("oltp: server %d has invalid phase %d", g.id, phase)
+		}
+		g.waitLSN = waitLSN
+		g.phase = phase
+		g.rng.LoadState(d)
+		if err := g.sess.LoadState(d); err != nil {
+			return err
+		}
+	}
+	nWaiters := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if nWaiters < 0 || nWaiters > len(h.servers) {
+		return fmt.Errorf("oltp: %d commit waiters for %d servers", nWaiters, len(h.servers))
+	}
+	waiters := make([]commitWaiter, nWaiters)
+	for i := range waiters {
+		id := d.Int()
+		lsn := d.U64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if id < 0 || id >= len(h.servers) {
+			return fmt.Errorf("oltp: commit waiter references server %d of %d", id, len(h.servers))
+		}
+		waiters[i] = commitWaiter{g: h.servers[id], lsn: lsn}
+	}
+	lgwrPending := d.Bool()
+	lgwrIOTarget := d.U64()
+	lgwrPhase := d.Int()
+	lgwrFlushes := d.U64()
+	lgwrGrouped := d.U64()
+	dbwrPhase := d.Int()
+	dbwrWrites := d.U64()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if lgwrPhase != lgwrPhaseIdle && lgwrPhase != lgwrPhaseIO {
+		return fmt.Errorf("oltp: log writer has invalid phase %d", lgwrPhase)
+	}
+	if dbwrPhase != dbwrPhaseScan && dbwrPhase != dbwrPhaseIO {
+		return fmt.Errorf("oltp: database writer has invalid phase %d", dbwrPhase)
+	}
+	for _, f := range h.kc.all {
+		if err := f.LoadState(d); err != nil {
+			return err
+		}
+	}
+	if err := h.eng.LoadState(d); err != nil {
+		return err
+	}
+	h.committed = committed
+	h.lgwr.waiters = append(h.lgwr.waiters[:0], waiters...)
+	h.lgwr.pending = lgwrPending
+	h.lgwr.ioTarget = lgwrIOTarget
+	h.lgwr.phase = lgwrPhase
+	h.lgwr.Flushes = lgwrFlushes
+	h.lgwr.GroupedCommits = lgwrGrouped
+	h.dbwr.phase = dbwrPhase
+	h.dbwr.Writes = dbwrWrites
+	return h.sched.LoadState(d, h.rebindDrain)
+}

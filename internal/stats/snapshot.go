@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"fmt"
+
+	"oltpsim/internal/coherence"
+	"oltpsim/internal/snapshot"
+)
+
+// SaveState writes the miss table.
+func (m *MissTable) SaveState(e *snapshot.Encoder) {
+	e.U64s(m.I[:])
+	e.U64s(m.D[:])
+	e.U64(m.RACHitsI)
+	e.U64(m.RACHitsD)
+	e.U64s(m.Upgrades[:])
+}
+
+// LoadState restores the miss table. Counter writes live here, in the stats
+// package, so the counterowner analyzer's single-accumulation-point rule
+// holds for snapshot restore exactly as it does for simulation.
+func (m *MissTable) LoadState(d *snapshot.Decoder) error {
+	i := d.U64s()
+	dd := d.U64s()
+	racI := d.U64()
+	racD := d.U64()
+	up := d.U64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	nc := int(coherence.NumCategories)
+	if len(i) != nc || len(dd) != nc || len(up) != nc {
+		return fmt.Errorf("stats: miss table has %d/%d/%d categories, want %d", len(i), len(dd), len(up), nc)
+	}
+	t := MissTable{RACHitsI: racI, RACHitsD: racD}
+	copy(t.I[:], i)
+	copy(t.D[:], dd)
+	copy(t.Upgrades[:], up)
+	*m = t
+	return nil
+}
