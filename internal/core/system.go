@@ -37,6 +37,16 @@ type RefSource interface {
 	RefSource() *kernel.Scheduler
 }
 
+// CommitSource is an optional fast path a Workload may implement alongside
+// Committed: direct access to the committed-transaction counter. RunUntil
+// stops exactly at the commit boundary, which means testing the counter
+// after every single step; through this interface that test is one pointer
+// load instead of an interface dispatch per reference. The counter must be
+// the same value Committed returns.
+type CommitSource interface {
+	CommitCounter() *uint64
+}
+
 // coreCtx is one processor core: private L1s and a timing model. With
 // CoresPerChip == 1 (every paper configuration) a chip has exactly one.
 type coreCtx struct {
@@ -84,8 +94,12 @@ type System struct {
 	lat   LatencyTable
 	w     Workload
 	sched *kernel.Scheduler // non-nil when w implements RefSource
-	chips int
-	cores int // per chip
+	// commits is the workload's committed-transaction counter when it
+	// implements CommitSource, letting RunUntil test its stop condition with
+	// a plain load per step; nil means fall back to w.Committed().
+	commits *uint64
+	chips   int
+	cores   int // per chip
 
 	nodes []*node
 	// allCores flattens nodes[i].cores[j] in CPU-ID order so Step's
@@ -126,6 +140,9 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	s := &System{cfg: cfg, lat: cfg.Latencies(), w: w, chips: chips, cores: cores}
 	if rs, ok := w.(RefSource); ok {
 		s.sched = rs.RefSource()
+	}
+	if cs, ok := w.(CommitSource); ok {
+		s.commits = cs.CommitCounter()
 	}
 	s.dir = coherence.New(chips, w.HomeOf, (*peers)(s))
 	s.dir.Migratory = !cfg.NoMigratory
@@ -289,18 +306,28 @@ func (s *System) Step() bool {
 }
 
 // RunUntil steps the system until the workload has committed target
-// transactions (or all CPUs are done). It panics if the simulation exceeds
-// a generous step bound, which would indicate a scheduling deadlock.
+// transactions (or all CPUs are done). The stop condition is tested after
+// every step, so the run halts at exactly the reference whose segment drain
+// crossed the commit boundary — warmup never bleeds references into the
+// measurement window, and a run chunked into several RunUntil calls (the
+// checkpoint loop) lands on the same boundaries as an uninterrupted one. It
+// panics if the simulation exceeds a generous step bound, which would
+// indicate a scheduling deadlock.
 func (s *System) RunUntil(target uint64) {
-	const checkEvery = 1024
 	var guard uint64
-	for s.w.Committed() < target {
-		for i := 0; i < checkEvery; i++ {
-			if !s.Step() {
+	commits := s.commits
+	for {
+		if commits != nil {
+			if *commits >= target {
 				return
 			}
+		} else if s.w.Committed() >= target {
+			return
 		}
-		guard += checkEvery
+		if !s.Step() {
+			return
+		}
+		guard++
 		if guard > 50_000_000_000 {
 			panic("core: simulation exceeded step bound; scheduler deadlock?")
 		}
