@@ -305,16 +305,42 @@ func (s *System) Step() bool {
 	return true
 }
 
+// refBudgetPerTxn is the deadlock-guard allowance: how many steps each core
+// may take per outstanding committed transaction before RunUntil declares
+// the scheduler stuck. Measured OLTP shapes spend on the order of 10⁴
+// references per transaction per busy core (plus idleRecheck-paced naps on
+// waiting cores), so a two-million-step allowance is two orders of
+// magnitude of headroom — far beyond any latency or contention sweep, yet
+// tight enough that a genuinely wedged scheduler dies in milliseconds of
+// wall time instead of minutes.
+const refBudgetPerTxn = 2_000_000
+
+// stepBound derives RunUntil's deadlock bound from the work remaining:
+// outstanding transactions × per-transaction reference budget × core count,
+// saturating instead of overflowing for absurd targets.
+func (s *System) stepBound(target uint64) uint64 {
+	remaining := uint64(1)
+	if c := s.w.Committed(); target > c {
+		remaining += target - c
+	}
+	procs := uint64(len(s.allCores))
+	if remaining > ^uint64(0)/refBudgetPerTxn/procs {
+		return ^uint64(0)
+	}
+	return remaining * refBudgetPerTxn * procs
+}
+
 // RunUntil steps the system until the workload has committed target
 // transactions (or all CPUs are done). The stop condition is tested after
 // every step, so the run halts at exactly the reference whose segment drain
 // crossed the commit boundary — warmup never bleeds references into the
 // measurement window, and a run chunked into several RunUntil calls (the
 // checkpoint loop) lands on the same boundaries as an uninterrupted one. It
-// panics if the simulation exceeds a generous step bound, which would
-// indicate a scheduling deadlock.
+// panics if the simulation exceeds the stepBound-derived budget, which
+// indicates a scheduling deadlock.
 func (s *System) RunUntil(target uint64) {
 	var guard uint64
+	bound := s.stepBound(target)
 	commits := s.commits
 	for {
 		if commits != nil {
@@ -328,8 +354,12 @@ func (s *System) RunUntil(target uint64) {
 			return
 		}
 		guard++
-		if guard > 50_000_000_000 {
-			panic("core: simulation exceeded step bound; scheduler deadlock?")
+		if guard > bound {
+			msg := fmt.Sprintf("core: %d steps without reaching %d committed transactions; scheduler deadlock?", guard, target)
+			if s.sched != nil {
+				msg += "\n" + s.sched.DumpState()
+			}
+			panic(msg)
 		}
 	}
 }
