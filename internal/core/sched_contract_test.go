@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"oltpsim/internal/kernel"
@@ -159,5 +160,57 @@ func TestStepDoneCoreNeverSelected(t *testing.T) {
 	}
 	if calls1 != 1 {
 		t.Fatalf("done CPU 1 was called %d times, want exactly 1", calls1)
+	}
+}
+
+// TestStepOrderMatchesLinearScanReference cross-checks the event queue
+// against a straight transliteration of the contract it must preserve: a
+// linear scan picking the lowest (clock, CPU ID) live core, with idle naps
+// advancing the clock to max(now, wake) and exhausted scripts removing the
+// core. Randomized scripts (fixed seeds) hammer ties, zero-advance naps, and
+// staggered deaths far beyond what the hand-written cases cover.
+func TestStepOrderMatchesLinearScanReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 50; trial++ {
+		cpus := 2 + rng.Intn(7)
+		src := newOrderSource(cpus)
+		for cpu := 0; cpu < cpus; cpu++ {
+			steps := 1 + rng.Intn(40)
+			for k := 0; k < steps; k++ {
+				// Wakes from a small absolute range so clocks collide often;
+				// wakes in the past exercise the zero-advance re-serve path.
+				src.idle(cpu, uint64(rng.Intn(60)))
+			}
+		}
+
+		// Reference simulation over a copy of the scripts.
+		clock := make([]uint64, cpus)
+		done := make([]bool, cpus)
+		ppos := make([]int, cpus)
+		var want []orderEvent
+		for {
+			idx := -1
+			best := ^uint64(0)
+			for i := 0; i < cpus; i++ {
+				if !done[i] && clock[i] < best {
+					idx, best = i, clock[i]
+				}
+			}
+			if idx < 0 {
+				break
+			}
+			want = append(want, orderEvent{cpu: idx, now: best})
+			if ppos[idx] >= len(src.acts[idx]) {
+				done[idx] = true
+				continue
+			}
+			if w := src.acts[idx][ppos[idx]].wake; w > clock[idx] {
+				clock[idx] = w
+			}
+			ppos[idx]++
+		}
+
+		sys := MustNewSystem(smallCfg(cpus), src)
+		checkCallOrder(t, sys, src, want)
 	}
 }

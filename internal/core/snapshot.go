@@ -173,6 +173,9 @@ func (s *System) Load(in io.Reader) error {
 		return err
 	}
 	copy(s.clocks, clocks)
+	// The restored clocks invalidate the event queue wholesale (including
+	// which cores are done), so rebuild it rather than patching.
+	s.rebuildHeap()
 	s.writeInvalOps = writeInvalOps
 	s.steps = steps
 

@@ -106,10 +106,20 @@ type System struct {
 	// earliest-core scan is one linear pass over a single slice.
 	allCores []*coreCtx
 	// clocks[i] mirrors allCores[i].model.Now(), with ^0 standing for a
-	// finished core, so the earliest-core scan touches one contiguous
+	// finished core, so earliest-core selection touches one contiguous
 	// uint64 slice instead of dereferencing every coreCtx.
 	clocks []uint64
-	dir    *coherence.Directory
+	// heap is an indexed binary min-heap of live core indices keyed on
+	// (clocks[i], i): heap[0] is the next core to step, and pos[i] is core
+	// i's slot in heap (-1 once the core is done and removed). A core's
+	// clock only ever grows, and only the core at the root moves, so each
+	// Step restores the heap with a single sift-down from the root — idle
+	// and done cores cost nothing per step, unlike the former O(P) scan.
+	// The (clock, then lowest index) key ordering reproduces the scan's
+	// tie-break exactly, so the reference interleaving is byte-identical.
+	heap []int32
+	pos  []int32
+	dir  *coherence.Directory
 
 	// latByCat / stallByCat are latFor/stallFor precomputed as arrays
 	// indexed by coherence.Category, so the per-miss category mapping is a
@@ -203,7 +213,76 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	if cfg.Classify {
 		s.classifier = cache.NewClassifier(int(cfg.L2SizeBytes / 64))
 	}
+	s.rebuildHeap()
 	return s, nil
+}
+
+// rebuildHeap reconstructs the event queue from s.clocks: every live core
+// (clock below the done sentinel) enters the heap, finished cores are marked
+// absent. Called at construction and after a snapshot load replaces the
+// clocks wholesale.
+func (s *System) rebuildHeap() {
+	if s.pos == nil {
+		s.pos = make([]int32, len(s.clocks))
+		s.heap = make([]int32, 0, len(s.clocks))
+	}
+	s.heap = s.heap[:0]
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	for i, t := range s.clocks {
+		if t != ^uint64(0) {
+			s.pos[i] = int32(len(s.heap))
+			s.heap = append(s.heap, int32(i))
+		}
+	}
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+// siftDown restores the heap invariant below slot i after the core stored
+// there gained a later clock (or was just swapped in). Keys are (clock,
+// core index), so equal clocks resolve to the lowest CPU ID — the exact
+// tie-break of the linear scan this queue replaced.
+func (s *System) siftDown(i int) {
+	h, clocks := s.heap, s.clocks
+	n := len(h)
+	moved := h[i]
+	mc := clocks[moved]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		best := h[child]
+		bc := clocks[best]
+		if r := child + 1; r < n {
+			if cand := h[r]; clocks[cand] < bc || (clocks[cand] == bc && cand < best) {
+				child, best, bc = r, cand, clocks[cand]
+			}
+		}
+		if mc < bc || (mc == bc && moved < best) {
+			break
+		}
+		h[i] = best
+		s.pos[best] = int32(i)
+		i = child
+	}
+	h[i] = moved
+	s.pos[moved] = int32(i)
+}
+
+// popRoot removes the earliest core from the queue once it reports done.
+func (s *System) popRoot() {
+	h := s.heap
+	last := len(h) - 1
+	s.pos[h[0]] = -1
+	h[0] = h[last]
+	s.heap = h[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
 }
 
 // MustNewSystem panics on configuration errors.
@@ -257,19 +336,15 @@ func (s *System) Chips() int { return s.chips }
 // Step advances the earliest CPU by one reference. It returns false when
 // every CPU's workload is exhausted.
 func (s *System) Step() bool {
-	// Earliest-core scan over the mirrored clock slice: plain sequential
-	// loads rather than an interface Now() call per candidate. Strict
-	// less-than keeps the original tie-break (lowest CPU ID wins equal
-	// clocks), and the ^0 done sentinel never beats a live clock.
-	idx, best := -1, ^uint64(0)
-	for i, t := range s.clocks {
-		if t < best {
-			idx, best = i, t
-		}
-	}
-	if idx < 0 {
+	// The event queue keeps the earliest core at the heap root; selection is
+	// O(1) and the post-step reorder is one sift-down over the live cores
+	// only. The clock mirror keeps the ^0 done sentinel for snapshots and
+	// contention bookkeeping, but done cores leave the heap entirely.
+	if len(s.heap) == 0 {
 		return false
 	}
+	idx := int(s.heap[0])
+	best := s.clocks[idx]
 	co := s.allCores[idx]
 	var r memref.Ref
 	var st kernel.Status
@@ -282,6 +357,7 @@ func (s *System) Step() bool {
 	switch st {
 	case kernel.StatusDone:
 		s.clocks[idx] = ^uint64(0)
+		s.popRoot()
 		return true
 	case kernel.StatusIdle:
 		if m := co.inorder; m != nil {
@@ -291,6 +367,7 @@ func (s *System) Step() bool {
 			co.model.AdvanceTo(wake)
 			s.clocks[idx] = co.model.Now()
 		}
+		s.siftDown(0)
 		return true
 	}
 	lat, cat := s.access(co.chip, co, r)
@@ -301,6 +378,7 @@ func (s *System) Step() bool {
 		co.model.Account(r, lat, cat)
 		s.clocks[idx] = co.model.Now()
 	}
+	s.siftDown(0)
 	s.steps++
 	return true
 }
