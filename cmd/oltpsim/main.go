@@ -32,6 +32,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "write a machine-state checkpoint to this file (at end of warmup, and during measurement with -checkpoint-every)")
 		ckptEvery  = flag.Uint64("checkpoint-every", 0, "with -checkpoint, rewrite the checkpoint every N committed transactions during measurement")
 		resume     = flag.String("resume", "", "resume from a checkpoint file written with the same configuration flags")
+		stepJobs   = flag.Int("step-j", 0, "epoch-sharded stepping workers inside the simulation (0 or 1 = serial; results stay bit-identical)")
 	)
 	flag.IntVar(&spec.Procs, "procs", 1, "processor count (1 or 8 in the paper)")
 	flag.StringVar(&spec.Level, "level", "base", "integration level: cons|base|l2|l2mc|full")
@@ -48,6 +49,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oltpsim: -checkpoint-every requires -checkpoint")
 		os.Exit(2)
 	}
+	if *stepJobs < 0 {
+		fmt.Fprintf(os.Stderr, "oltpsim: -step-j must be >= 0 (got %d)\n", *stepJobs)
+		os.Exit(2)
+	}
 
 	cfg, err := cli.Build(spec)
 	if err != nil {
@@ -59,6 +64,7 @@ func main() {
 	opt.WarmupTxns = *warmup
 	opt.MeasureTxns = *measure
 	opt.Quick = *quick
+	opt.StepWorkers = *stepJobs
 
 	var res stats.RunResult
 	if *checkpoint == "" && *resume == "" {
@@ -84,6 +90,7 @@ func main() {
 func runCheckpointed(opt experiments.Options, cfg core.Config, resumePath, checkpointPath string, every uint64) (stats.RunResult, error) {
 	h := oltp.MustNewHarness(opt.Params(cfg))
 	sys := core.MustNewSystem(cfg, h)
+	sys.SetStepWorkers(opt.StepWorkers)
 	var measureBase uint64
 	if resumePath != "" {
 		data, err := os.ReadFile(resumePath)

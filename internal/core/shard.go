@@ -1,0 +1,323 @@
+package core
+
+import (
+	"sync"
+
+	"oltpsim/internal/cache"
+	"oltpsim/internal/cpu"
+	"oltpsim/internal/kernel"
+	"oltpsim/internal/memref"
+)
+
+// This file implements deterministic intra-run parallelism: epoch-sharded
+// stepping. The serial engine interleaves cores by (clock, CPU ID); sharding
+// exploits the observation that a reference which is a guaranteed L1 hit
+// touches only its own core's state (plus, for the silent Exclusive→Modified
+// store upgrade, its own chip's L2 line), so runs of such references on
+// different chips commute — executing them concurrently produces exactly the
+// state and statistics of the serial interleaving.
+//
+// Each epoch has three parts:
+//
+//  1. Phase A (parallel, read-only): every live core scans its pending
+//     references through kernel.Scheduler.Pending, classifying the prefix of
+//     guaranteed L1 hits with non-mutating cache probes and projecting its
+//     clock across them with the in-order timing rule (an instruction fetch
+//     advances by its instruction count; a zero-latency data hit advances
+//     nothing). The scan stops at the first reference that could miss, at a
+//     possible preemption point (the exact mirror of the scheduler's slice
+//     test), or at the segment end — every one of those events can mutate
+//     shared state, and its projected time is the core's stop time.
+//
+//  2. Barrier, then phase B (parallel over chip shards): with the horizon H
+//     = min over live cores of the stop time, every reference served
+//     strictly before H lies inside some core's validated prefix, so each
+//     shard replays its cores' references through the ordinary
+//     Scheduler.Next / access / Account path while the core clock stays
+//     below H. Guard panics enforce that nothing leaves the validated
+//     prefix. Per-shard step counts merge into the System counter at the
+//     barrier, and the event queue is rebuilt from the advanced clocks.
+//
+//  3. A serial batch of ordinary heap steps retires the non-validated
+//     events at the horizon — misses, directory transactions, segment
+//     drains (where transaction commits live), context switches — with the
+//     per-step commit-boundary check of the serial loop.
+//
+// Because commits only happen in the serial part, RunUntil still stops at
+// exactly the committed-transaction boundary, and the executed reference
+// sequence is the serial sequence — output is byte-identical with sharding
+// on or off, for any worker count.
+
+const (
+	// maxEpochScan bounds phase A's per-core lookahead, keeping the
+	// read-only scan proportional to what an epoch could plausibly retire.
+	maxEpochScan = 4096
+	// serialBatch is how many ordinary heap steps run between epochs to
+	// clear the events blocking the horizon.
+	serialBatch = 256
+)
+
+// SetStepWorkers selects how many goroutines step the machine inside a
+// single run. n <= 1 keeps the pure serial engine. Sharded stepping needs a
+// direct scheduler (RefSource), in-order cores, and at least two chips;
+// systems that don't qualify silently stay serial. Output is byte-identical
+// for every value of n.
+func (s *System) SetStepWorkers(n int) {
+	s.stepWorkers = n
+}
+
+// shardable reports whether RunUntil may use the epoch-sharded engine.
+func (s *System) shardable() bool {
+	return s.stepWorkers >= 2 && s.sched != nil && !s.cfg.OutOfOrder && s.chips >= 2
+}
+
+// committedCount returns the workload's committed-transaction count through
+// the fast path when available.
+func (s *System) committedCount() uint64 {
+	if s.commits != nil {
+		return *s.commits
+	}
+	return s.w.Committed()
+}
+
+// epochEngine holds the reusable scratch state of the sharded stepping loop.
+type epochEngine struct {
+	s       *System
+	workers int
+	stop    []uint64 // per-core projected time of the first non-validated event
+	live    []int32  // scratch snapshot of the live-core heap
+	delta   []uint64 // per-shard executed-reference counts
+}
+
+func (s *System) engine() *epochEngine {
+	if s.eng == nil || s.eng.workers != s.stepWorkers {
+		s.eng = &epochEngine{
+			s:       s,
+			workers: s.stepWorkers,
+			stop:    make([]uint64, len(s.allCores)),
+			live:    make([]int32, 0, len(s.allCores)),
+			delta:   make([]uint64, s.stepWorkers),
+		}
+	}
+	return s.eng
+}
+
+// runUntilSharded is RunUntil's epoch-sharded twin: identical stop condition
+// and deadlock guard, with epochs interleaved between serial batches.
+func (s *System) runUntilSharded(target uint64) {
+	e := s.engine()
+	var guard uint64
+	bound := s.stepBound(target)
+	for {
+		for i := 0; i < serialBatch; i++ {
+			if s.committedCount() >= target {
+				return
+			}
+			if !s.Step() {
+				return
+			}
+			guard++
+		}
+		if s.committedCount() >= target {
+			return
+		}
+		guard += e.runEpoch()
+		if guard > bound {
+			s.deadlockPanic(guard, target)
+		}
+	}
+}
+
+// runEpoch executes one epoch and returns how many references it retired (0
+// when no core could safely run, in which case only the serial loop makes
+// progress).
+func (e *epochEngine) runEpoch() uint64 {
+	s := e.s
+	e.live = append(e.live[:0], s.heap...)
+	if len(e.live) == 0 {
+		return 0
+	}
+	e.phaseA()
+	horizon := ^uint64(0)
+	for _, idx := range e.live {
+		if t := e.stop[idx]; t < horizon {
+			horizon = t
+		}
+	}
+	progress := false
+	for _, idx := range e.live {
+		if s.clocks[idx] < horizon {
+			progress = true
+			break
+		}
+	}
+	if !progress {
+		return 0
+	}
+	n := e.phaseB(horizon)
+	s.rebuildHeap()
+	return n
+}
+
+// phaseA fills e.stop for every live core: a parallel, read-only scan.
+func (e *epochEngine) phaseA() {
+	live := e.live
+	nw := e.workers
+	if nw > len(live) {
+		nw = len(live)
+	}
+	if nw <= 1 {
+		for _, idx := range live {
+			e.stop[idx] = e.s.scanSafePrefix(int(idx))
+		}
+		return
+	}
+	chunk := (len(live) + nw - 1) / nw
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(live); lo += chunk {
+		hi := lo + chunk
+		if hi > len(live) {
+			hi = len(live)
+		}
+		wg.Add(1)
+		go func(part []int32) {
+			defer wg.Done()
+			for _, idx := range part {
+				e.stop[idx] = e.s.scanSafePrefix(int(idx))
+			}
+		}(live[lo:hi])
+	}
+	wg.Wait()
+}
+
+// phaseB replays every validated reference below the horizon, one goroutine
+// per contiguous shard of chips, and merges the per-shard step counts.
+func (e *epochEngine) phaseB(horizon uint64) uint64 {
+	s := e.s
+	nchips := len(s.nodes)
+	nw := e.workers
+	if nw > nchips {
+		nw = nchips
+	}
+	chunk := (nchips + nw - 1) / nw
+	var wg sync.WaitGroup
+	shard := 0
+	for lo := 0; lo < nchips; lo += chunk {
+		hi := lo + chunk
+		if hi > nchips {
+			hi = nchips
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			var n uint64
+			for ci := lo; ci < hi; ci++ {
+				for _, co := range s.nodes[ci].cores {
+					// allCores is laid out in CPU-ID order, so cpuID doubles
+					// as the clock index; done cores sit at the ^0 sentinel
+					// and skip naturally.
+					if s.clocks[co.cpuID] < horizon {
+						n += s.runValidated(co, horizon)
+					}
+				}
+			}
+			e.delta[shard] = n
+		}(shard, lo, hi)
+		shard++
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < shard; i++ {
+		total += e.delta[i]
+		e.delta[i] = 0
+	}
+	s.steps += total
+	return total
+}
+
+// runValidated serves one core's references while its clock stays below the
+// horizon. Phase A guarantees every such reference is a zero-latency L1 hit
+// whose serve leaves all cross-chip state untouched; the panics turn any
+// violation of that reasoning into an immediate loud failure instead of
+// silent nondeterminism.
+func (s *System) runValidated(co *coreCtx, horizon uint64) uint64 {
+	idx := co.cpuID
+	m := co.inorder
+	var n uint64
+	for s.clocks[idx] < horizon {
+		r, st, _ := s.sched.Next(co.cpuID, s.clocks[idx])
+		if st != kernel.StatusRef {
+			panic("core: sharded step left the validated prefix (scheduler event)")
+		}
+		lat, cat := s.access(co.chip, co, r)
+		if lat != 0 || cat != cpu.CatNone {
+			panic("core: sharded step left the validated prefix (memory miss)")
+		}
+		m.Account(r, 0, cpu.CatNone)
+		s.clocks[idx] = m.Now()
+		n++
+	}
+	return n
+}
+
+// scanSafePrefix projects core idx's clock across its longest pending run of
+// guaranteed L1 hits and returns the projected time of the first event that
+// could touch shared state: a possible miss, a possible preemption, or the
+// end of the materialized segment (drains, refills, and dispatches all
+// mutate the scheduler). Read-only.
+func (s *System) scanSafePrefix(idx int) uint64 {
+	co := s.allCores[idx]
+	t := s.clocks[idx]
+	pr := s.sched.Pending(co.cpuID)
+	scanned := 0
+	// Context-switch overhead is served unconditionally — no slice
+	// accounting and no preemption test.
+	for _, r := range pr.Switch {
+		if scanned >= maxEpochScan || !s.l1Guaranteed(co, r) {
+			return t
+		}
+		if r.Kind == memref.IFetch {
+			t += uint64(r.Instrs)
+		}
+		scanned++
+	}
+	for k := range pr.Seg {
+		if scanned >= maxEpochScan {
+			return t
+		}
+		// Exact mirror of the scheduler's slice-expiry test at serve time t.
+		if pr.SliceUsed+k >= pr.Quantum && pr.OtherWake <= t {
+			return t
+		}
+		r := pr.Seg[k]
+		if !s.l1Guaranteed(co, r) {
+			return t
+		}
+		if r.Kind == memref.IFetch {
+			t += uint64(r.Instrs)
+		}
+		scanned++
+	}
+	return t
+}
+
+// l1Guaranteed reports whether serving r now would certainly take the
+// zero-latency L1-hit path of access: any resident state satisfies a fetch
+// or load, while a store needs Modified or Exclusive (the silent upgrade) —
+// a Shared store goes through the L2 and the directory. Probes only; no LRU
+// or statistics updates.
+func (s *System) l1Guaranteed(co *coreCtx, r memref.Ref) bool {
+	line := r.Line()
+	switch r.Kind {
+	case memref.IFetch:
+		return co.l1i.Probe(line) != cache.Invalid
+	case memref.Load:
+		return co.l1d.Probe(line) != cache.Invalid
+	default:
+		switch co.l1d.Probe(line) {
+		case cache.Modified, cache.Exclusive:
+			return true
+		}
+		return false
+	}
+}

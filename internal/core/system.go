@@ -133,6 +133,11 @@ type System struct {
 
 	classifier *cache.Classifier // only when cfg.Classify
 
+	// stepWorkers > 1 turns on epoch-sharded stepping (shard.go) for
+	// eligible configurations; eng is its reusable scratch state.
+	stepWorkers int
+	eng         *epochEngine
+
 	writeInvalOps uint64
 	steps         uint64
 }
@@ -417,6 +422,10 @@ func (s *System) stepBound(target uint64) uint64 {
 // panics if the simulation exceeds the stepBound-derived budget, which
 // indicates a scheduling deadlock.
 func (s *System) RunUntil(target uint64) {
+	if s.shardable() {
+		s.runUntilSharded(target)
+		return
+	}
 	var guard uint64
 	bound := s.stepBound(target)
 	commits := s.commits
@@ -433,13 +442,18 @@ func (s *System) RunUntil(target uint64) {
 		}
 		guard++
 		if guard > bound {
-			msg := fmt.Sprintf("core: %d steps without reaching %d committed transactions; scheduler deadlock?", guard, target)
-			if s.sched != nil {
-				msg += "\n" + s.sched.DumpState()
-			}
-			panic(msg)
+			s.deadlockPanic(guard, target)
 		}
 	}
+}
+
+// deadlockPanic reports a run that exceeded its derived step budget.
+func (s *System) deadlockPanic(guard, target uint64) {
+	msg := fmt.Sprintf("core: %d steps without reaching %d committed transactions; scheduler deadlock?", guard, target)
+	if s.sched != nil {
+		msg += "\n" + s.sched.DumpState()
+	}
+	panic(msg)
 }
 
 // ResetStats zeroes every statistic while preserving architectural state

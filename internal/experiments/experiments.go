@@ -30,6 +30,14 @@ type Options struct {
 	// simulation is a pure function of (config, seed), so parallel results
 	// are bit-identical to serial ones, in the same order.
 	Workers int
+	// StepWorkers turns on epoch-sharded stepping inside each simulation:
+	// n >= 2 shards the machine's chips across n goroutines with barrier
+	// epochs (see internal/core/shard.go). 0 or 1 keeps the serial stepping
+	// engine. Sharded stepping is byte-identical to serial stepping, so this
+	// only trades wall-clock for cores; configurations the sharded engine
+	// cannot drive (out-of-order cores, single chips) fall back to serial on
+	// their own.
+	StepWorkers int
 	// WarmSnapshot, when non-nil, shares end-of-warmup machine snapshots
 	// between the runs of a sweep: configurations with an identical machine
 	// shape and seed fork their measurement phases from one warm state
@@ -81,7 +89,9 @@ func (o Options) Params(cfg core.Config) oltp.Params {
 
 // build assembles the machine for one configuration.
 func (o Options) build(cfg core.Config) *core.System {
-	return core.MustNewSystem(cfg, oltp.MustNewHarness(o.Params(cfg)))
+	sys := core.MustNewSystem(cfg, oltp.MustNewHarness(o.Params(cfg)))
+	sys.SetStepWorkers(o.StepWorkers)
+	return sys
 }
 
 // Run executes one configuration under the protocol.

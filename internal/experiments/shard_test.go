@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"oltpsim/internal/core"
+)
+
+// TestShardedSteppingMatchesSerial is the byte-identity contract of the
+// epoch-sharded stepping engine: every invariant machine shape must produce
+// exactly the same RunResult with sharded stepping as with the serial
+// engine. Shapes the sharded engine declines (uniprocessors, out-of-order
+// cores) exercise the silent serial fallback and must also match.
+func TestShardedSteppingMatchesSerial(t *testing.T) {
+	for _, cfg := range invariantConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			serial := invariantOptions()
+			sharded := invariantOptions()
+			sharded.StepWorkers = 3
+
+			rs := serial.Run(cfg)
+			rp := sharded.Run(cfg)
+			if !reflect.DeepEqual(rs, rp) {
+				t.Fatalf("sharded stepping diverged from serial:\nserial:  %+v\nsharded: %+v", rs, rp)
+			}
+		})
+	}
+}
+
+// TestShardedSteppingWorkerCountIrrelevant pins that the worker count only
+// partitions the work: different shard counts give identical results.
+func TestShardedSteppingWorkerCountIrrelevant(t *testing.T) {
+	cfg := core.FullConfig(8, 2*core.MB, 8)
+	base := invariantOptions()
+	want := base.Run(cfg)
+	for _, workers := range []int{2, 5, 16} {
+		o := invariantOptions()
+		o.StepWorkers = workers
+		if got := o.Run(cfg); !reflect.DeepEqual(got, want) {
+			t.Fatalf("StepWorkers=%d diverged from serial:\nserial: %+v\ngot:    %+v", workers, want, got)
+		}
+	}
+}

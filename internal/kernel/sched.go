@@ -350,6 +350,53 @@ func (s *Scheduler) allDead(c *cpuQueue) bool {
 	return true
 }
 
+// PendingRun is a read-only view of the references cpu would serve next,
+// taken for speculative lookahead (the epoch-sharded stepping engine in
+// internal/core). The slices alias scheduler-owned buffers and are valid
+// only until the next mutating call for this cpu.
+//
+// The serve order it describes: every Switch reference first (context-switch
+// overhead is served unconditionally, with no slice accounting), then Seg
+// references one at a time, where serving Seg[k] is preceded by the
+// preemption test `SliceUsed+k >= Quantum && OtherWake <= now`. Anything
+// after the last Seg reference (drain directives, refills, dispatches) is
+// not visible here — by design, since those mutate scheduler state.
+type PendingRun struct {
+	Switch    []memref.Ref // pending context-switch overhead
+	Seg       []memref.Ref // running process's remaining segment references
+	SliceUsed int          // references the running process has used this slice
+	Quantum   int          // scheduler time slice, in references
+	// OtherWake is the earliest instant at which some other process on this
+	// cpu is (or becomes) runnable — the exact quantity someoneElseReady
+	// compares against now — or ^0 when no other process is ready or
+	// sleeping.
+	OtherWake uint64
+}
+
+// Pending returns the read-only lookahead view for cpu without mutating any
+// scheduler state.
+func (s *Scheduler) Pending(cpu int) PendingRun {
+	c := &s.cpus[cpu]
+	pr := PendingRun{Quantum: s.quantum, OtherWake: ^uint64(0)}
+	if c.swPos < len(c.swBuf.Refs) {
+		pr.Switch = c.swBuf.Refs[c.swPos:]
+	}
+	p := c.cur
+	if p != nil && p.pos < len(p.buf.Refs) {
+		pr.Seg = p.buf.Refs[p.pos:]
+		pr.SliceUsed = p.sliceUsed
+	}
+	for _, q := range c.procs {
+		if q == p {
+			continue
+		}
+		if (q.state == stateReady || q.state == stateSleeping) && q.wakeAt < pr.OtherWake {
+			pr.OtherWake = q.wakeAt
+		}
+	}
+	return pr
+}
+
 // Procs returns all processes pinned to cpu (diagnostics and tests).
 func (s *Scheduler) Procs(cpu int) []*Proc { return s.cpus[cpu].procs }
 

@@ -242,3 +242,76 @@ func TestDumpState(t *testing.T) {
 		t.Fatal("empty dump")
 	}
 }
+
+// TestPendingViewMatchesServe checks that Pending describes exactly what
+// Next will serve — segment remainder, slice accounting, other-process wake
+// — and that taking the view mutates nothing: a scheduler inspected between
+// every reference serves the same stream as an uninspected twin.
+func TestPendingViewMatchesServe(t *testing.T) {
+	build := func() *Scheduler {
+		s := NewScheduler(1, 6, nil)
+		s.Spawn(0, "a", &scriptGen{segments: []scriptSeg{{refs: 5, dir: Directive{Kind: Run}}, {refs: 4, dir: Directive{Kind: Exit}}}})
+		s.Spawn(0, "b", &scriptGen{segments: []scriptSeg{{refs: 3, dir: Directive{Kind: Exit}}}})
+		return s
+	}
+	probed, control := build(), build()
+
+	// Before any dispatch there is nothing pending.
+	if pr := probed.Pending(0); pr.Seg != nil || pr.Switch != nil {
+		t.Fatalf("fresh scheduler has pending work: %+v", pr)
+	}
+	now := uint64(0)
+	for i := 0; i < 100; i++ {
+		pr := probed.Pending(0)
+		if pr2 := probed.Pending(0); len(pr2.Seg) != len(pr.Seg) || pr2.SliceUsed != pr.SliceUsed || pr2.OtherWake != pr.OtherWake {
+			t.Fatalf("Pending not idempotent: %+v then %+v", pr, pr2)
+		}
+		r, st, _ := probed.Next(0, now)
+		rc, stc, _ := control.Next(0, now)
+		if r != rc || st != stc {
+			t.Fatalf("step %d: probed scheduler diverged from control: (%v,%v) vs (%v,%v)", i, r, st, rc, stc)
+		}
+		if st == StatusDone {
+			return
+		}
+		if st == StatusRef && len(pr.Seg) > 0 {
+			// Unless the view's own preemption test fires, the served ref
+			// must be the head of the pending view; when it does fire, the
+			// scheduler must preempt, i.e. serve some other process's ref.
+			if preempt := pr.SliceUsed >= pr.Quantum && pr.OtherWake <= now; !preempt {
+				if r != pr.Seg[0] {
+					t.Fatalf("step %d: served %+v, Pending showed %+v", i, r, pr.Seg[0])
+				}
+			} else if r == pr.Seg[0] {
+				t.Fatalf("step %d: preemption test fired but the old head was served", i)
+			}
+		}
+		now++
+	}
+	t.Fatal("scheduler never finished")
+}
+
+// TestPendingOtherWake pins OtherWake: the earliest wake among the other
+// ready or sleeping processes, ^0 when the running process is alone.
+func TestPendingOtherWake(t *testing.T) {
+	s := NewScheduler(1, 100, nil)
+	s.Spawn(0, "a", &scriptGen{segments: []scriptSeg{{refs: 4, dir: Directive{Kind: Exit}}}})
+	b := s.Spawn(0, "b", &scriptGen{segments: []scriptSeg{{refs: 1, dir: Directive{Kind: Exit}}}})
+	b.state = stateSleeping
+	b.wakeAt = 77
+
+	if _, st, _ := s.Next(0, 0); st != StatusRef {
+		t.Fatalf("expected a ref, got %v", st)
+	}
+	pr := s.Pending(0)
+	if pr.OtherWake != 77 {
+		t.Fatalf("OtherWake = %d, want 77", pr.OtherWake)
+	}
+	if pr.SliceUsed != 1 || len(pr.Seg) != 3 {
+		t.Fatalf("view = used %d, seg %d; want 1, 3", pr.SliceUsed, len(pr.Seg))
+	}
+	b.state = stateDead
+	if pr := s.Pending(0); pr.OtherWake != ^uint64(0) {
+		t.Fatalf("OtherWake with no other live proc = %d, want ^0", pr.OtherWake)
+	}
+}
