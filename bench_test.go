@@ -476,3 +476,48 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 		sys.Step()
 	}
 }
+
+// BenchmarkStepScaling measures per-reference stepping cost as the machine
+// widens from the paper's 8 nodes to 128. With the indexed min-heap event
+// queue, earliest-core selection costs O(log P) instead of the former O(P)
+// scan, so ns/op should grow far slower than node count; cmd/benchdiff
+// tracks the large shapes to keep that sub-linear.
+func BenchmarkStepScaling(b *testing.B) {
+	for _, procs := range []int{8, 32, 64, 128} {
+		b.Run(fmt.Sprintf("nodes=%d", procs), func(b *testing.B) {
+			o := experiments.QuickOptions()
+			cfg := BaseConfig(procs, 8*MB, 1)
+			h := oltp.MustNewHarness(o.Params(cfg))
+			sys := MustNewSystem(cfg, h)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Step()
+			}
+		})
+	}
+}
+
+// benchStepWorkers times a whole warm+measure run of the 64-node full
+// configuration with a fixed intra-run stepping width. The serial and
+// sharded variants produce byte-identical results
+// (TestShardedSteppingMatchesSerial); the wall-clock gap is the epoch
+// engine's payoff, and benchdiff keeps the sharded variant from regressing
+// into a slowdown.
+func benchStepWorkers(b *testing.B, workers int) {
+	o := experiments.QuickOptions()
+	o.WarmupTxns, o.MeasureTxns = 200, 400
+	o.StepWorkers = workers
+	cfg := FullIntegrationConfig(64, 2*MB, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Run(cfg)
+	}
+}
+
+// BenchmarkStep64Serial is the serial reference for the 64-node run.
+func BenchmarkStep64Serial(b *testing.B) { benchStepWorkers(b, 1) }
+
+// BenchmarkStep64Sharded runs the same 64-node configuration with four
+// epoch-shard workers.
+func BenchmarkStep64Sharded(b *testing.B) { benchStepWorkers(b, 4) }

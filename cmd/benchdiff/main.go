@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchdiff -write            # record baseline BENCH_pr5.json
+//	go run ./cmd/benchdiff -write            # record baseline BENCH_pr6.json
 //	go run ./cmd/benchdiff -check            # fail on time or alloc regression
 //	go run ./cmd/benchdiff -check -allocs-only
 //	go run ./cmd/benchdiff -check -threshold 25
@@ -56,7 +56,7 @@ func main() {
 	var (
 		write      = flag.Bool("write", false, "record the baseline instead of checking against it")
 		check      = flag.Bool("check", false, "compare against the committed baseline")
-		baseline   = flag.String("baseline", "BENCH_pr5.json", "baseline file path")
+		baseline   = flag.String("baseline", "BENCH_pr6.json", "baseline file path")
 		count      = flag.Int("count", 3, "repetitions; the minimum per benchmark is used")
 		short      = flag.Bool("short", true, "run benchmarks in -short mode")
 		threshold  = flag.Float64("threshold", 10, "allowed ns/op regression in percent")
@@ -70,10 +70,14 @@ func main() {
 	}
 
 	// Each guarded benchmark carries its own iteration budget:
-	// RunnerSerial regenerates a whole figure per iteration (1x is already
-	// seconds of simulation); SimulationThroughput times single Step calls
-	// and needs enough iterations that setup cost amortizes away, which is
-	// also what drives its allocs/op to the steady-state zero.
+	// RunnerSerial and the Step64 pair regenerate a whole run per iteration
+	// (1x is already seconds of simulation); SimulationThroughput and
+	// StepScaling time single Step calls and need enough iterations that
+	// setup cost amortizes away, which is also what drives their allocs/op
+	// to the steady-state zero. StepScaling's sub-benchmarks (8 to 128
+	// nodes) are the scaling guard: each is recorded under its full
+	// "BenchmarkStepScaling/nodes=N" name, so a super-linear per-ref
+	// slowdown at large N shows up as a plain time regression at that N.
 	specs := []struct {
 		pattern   string
 		benchtime string
@@ -82,6 +86,9 @@ func main() {
 		{"^BenchmarkRunnerColdRepeat$", "1x"},
 		{"^BenchmarkRunnerWarmReuse$", "1x"},
 		{"^BenchmarkSimulationThroughput$", "2000000x"},
+		{"^BenchmarkStepScaling$", "1000000x"},
+		{"^BenchmarkStep64Serial$", "1x"},
+		{"^BenchmarkStep64Sharded$", "1x"},
 	}
 	got := make(map[string]Benchmark)
 	for _, spec := range specs {

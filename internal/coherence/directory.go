@@ -19,8 +19,45 @@ import (
 )
 
 // MaxNodes bounds the sharer bit-vector. The paper's multiprocessor has 8
-// nodes; we allow up to 64 so scaling experiments are possible.
-const MaxNodes = 64
+// nodes; we allow up to 128 so scaling experiments are possible.
+const MaxNodes = 128
+
+// sharerWords is the number of 64-bit words in a sharer set.
+const sharerWords = MaxNodes / 64
+
+// sharerSet is a fixed-width bit-vector with one bit per node. It is a
+// comparable value type, so whole-set equality tests (`s == only(node)`)
+// keep working across the word boundary.
+type sharerSet [sharerWords]uint64
+
+func only(node int) sharerSet {
+	var s sharerSet
+	s.add(node)
+	return s
+}
+
+func (s *sharerSet) add(node int)     { s[node>>6] |= 1 << uint(node&63) }
+func (s *sharerSet) remove(node int)  { s[node>>6] &^= 1 << uint(node&63) }
+func (s sharerSet) has(node int) bool { return s[node>>6]&(1<<uint(node&63)) != 0 }
+
+func (s sharerSet) empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// beyond reports whether any bit at position >= nodes is set.
+func (s sharerSet) beyond(nodes int) bool {
+	for i := nodes; i < MaxNodes; i++ {
+		if s.has(i) {
+			return true
+		}
+	}
+	return false
+}
 
 // Category classifies where a memory transaction was serviced from, which
 // determines both its latency (core.LatencyTable) and its statistics bucket.
@@ -83,10 +120,10 @@ type HomeFunc func(line uint64) int
 // "uncached, clean at home". owner holds node+1 so that the zero value is
 // "no owner".
 type entry struct {
-	sharers uint64 // bit per node with a (possibly clean-exclusive) copy
-	owner   int8   // node+1 with M/E rights, 0 if none
-	dirty   bool   // owner's copy differs from home memory
-	inRAC   bool   // owner's copy lives in its RAC, not its L2
+	sharers sharerSet // bit per node with a (possibly clean-exclusive) copy
+	owner   int16     // node+1 with M/E rights, 0 if none
+	dirty   bool      // owner's copy differs from home memory
+	inRAC   bool      // owner's copy lives in its RAC, not its L2
 }
 
 func (e entry) hasOwner() bool { return e.owner != 0 }
@@ -198,8 +235,8 @@ func (d *Directory) Read(line uint64, node int) Result {
 			}
 			e.dirty = true
 			e.inRAC = false
-			e.owner = int8(node + 1)
-			e.sharers = bit(node)
+			e.owner = int16(node + 1)
+			e.sharers = only(node)
 			res.Grant = cache.Modified
 		case wasDirty:
 			// Dirty data is forwarded by the owner (3-hop) and written back
@@ -213,7 +250,8 @@ func (d *Directory) Read(line uint64, node int) Result {
 			e.dirty = false
 			e.inRAC = false
 			e.owner = 0
-			e.sharers |= bit(owner) | bit(node)
+			e.sharers.add(owner)
+			e.sharers.add(node)
 			res.Grant = cache.Shared
 		default:
 			// Clean-exclusive at the owner: home memory is current, so the
@@ -222,20 +260,21 @@ func (d *Directory) Read(line uint64, node int) Result {
 			e.dirty = false
 			e.inRAC = false
 			e.owner = 0
-			e.sharers |= bit(owner) | bit(node)
+			e.sharers.add(owner)
+			e.sharers.add(node)
 			res.Grant = cache.Shared
 		}
-	case e.sharers != 0 && e.sharers != bit(node):
+	case !e.sharers.empty() && e.sharers != only(node):
 		// Shared by others; data from home memory.
 		res.Cat = categoryFromHome(homeNode, node)
-		e.sharers |= bit(node)
+		e.sharers.add(node)
 		res.Grant = cache.Shared
 	default:
 		// Uncached (or only a stale self-sharer bit): grant Exclusive so
 		// private data can later be written without a second transaction.
 		res.Cat = categoryFromHome(homeNode, node)
-		e.sharers = bit(node)
-		e.owner = int8(node + 1)
+		e.sharers = only(node)
+		e.owner = int16(node + 1)
 		e.dirty = false
 		e.inRAC = false
 		res.Grant = cache.Exclusive
@@ -270,12 +309,12 @@ func (d *Directory) Write(line uint64, node int) Result {
 		} else {
 			res.Cat = categoryFromHome(homeNode, node)
 		}
-	case e.sharers != 0:
+	case !e.sharers.empty():
 		// Shared: invalidate every other sharer; if the requester was among
 		// the sharers this is a pure upgrade (permission only, no data).
-		res.Upgrade = e.sharers&bit(node) != 0
+		res.Upgrade = e.sharers.has(node)
 		for n := 0; n < d.nodes; n++ {
-			if n != node && e.sharers&bit(n) != 0 {
+			if n != node && e.sharers.has(n) {
 				d.peers.InvalidatePeer(n, line)
 				res.Invalidations++
 			}
@@ -286,8 +325,8 @@ func (d *Directory) Write(line uint64, node int) Result {
 		res.Cat = categoryFromHome(homeNode, node)
 	}
 
-	e.sharers = bit(node)
-	e.owner = int8(node + 1)
+	e.sharers = only(node)
+	e.owner = int16(node + 1)
 	e.dirty = true
 	e.inRAC = false
 	*p = e
@@ -312,7 +351,7 @@ func (d *Directory) WritebackDirty(line uint64, node int) {
 	e.owner = 0
 	e.dirty = false
 	e.inRAC = false
-	e.sharers &^= bit(node)
+	e.sharers.remove(node)
 	d.storeOrDelete(line, e)
 	d.Stats.Writebacks++
 }
@@ -326,7 +365,7 @@ func (d *Directory) EvictClean(line uint64, node int) {
 		e.dirty = false
 		e.inRAC = false
 	}
-	e.sharers &^= bit(node)
+	e.sharers.remove(node)
 	d.storeOrDelete(line, e)
 	d.Stats.ReplHints++
 }
@@ -354,7 +393,7 @@ func (d *Directory) SharerCount(line uint64) int {
 	e := d.entries.get(line)
 	n := 0
 	for i := 0; i < d.nodes; i++ {
-		if e.sharers&bit(i) != 0 {
+		if e.sharers.has(i) {
 			n++
 		}
 	}
@@ -377,7 +416,7 @@ func (d *Directory) OwnerInRAC(line uint64) bool { return d.entries.get(line).in
 
 // IsSharer reports whether node holds a copy of line per the directory.
 func (d *Directory) IsSharer(line uint64, node int) bool {
-	return d.entries.get(line).sharers&bit(node) != 0
+	return d.entries.get(line).sharers.has(node)
 }
 
 // Entries returns the number of lines with non-default directory state.
@@ -387,14 +426,12 @@ func (d *Directory) Entries() int { return d.entries.live }
 func (d *Directory) ResetStats() { d.Stats = Stats{} }
 
 func (d *Directory) storeOrDelete(line uint64, e entry) {
-	if e.sharers == 0 && !e.hasOwner() {
+	if e.sharers.empty() && !e.hasOwner() {
 		d.entries.del(line)
 		return
 	}
 	*d.entries.ref(line) = e
 }
-
-func bit(node int) uint64 { return 1 << uint(node) }
 
 func categoryFromHome(home, requester int) Category {
 	if home == requester {

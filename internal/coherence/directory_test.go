@@ -1,11 +1,13 @@
 package coherence
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
 	"oltpsim/internal/cache"
 	"oltpsim/internal/sim"
+	"oltpsim/internal/snapshot"
 )
 
 // fakePeers is a model of per-node caches precise enough for the protocol:
@@ -377,5 +379,72 @@ func TestProtocolInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWideMachineCrossesWordBoundary drives a 128-node directory so sharer
+// bookkeeping exercises both words of the sharer set: every node reads one
+// line (127 sharers past the first word), then one write must invalidate all
+// 127 other copies, and a snapshot of the wide state must round-trip.
+func TestWideMachineCrossesWordBoundary(t *testing.T) {
+	d, p := setup(MaxNodes)
+	line := uint64(64) // home = node 1
+
+	apply(p, line, 0, d.Read(line, 0)) // exclusive grant
+	for n := 1; n < MaxNodes; n++ {
+		res := d.Read(line, n)
+		apply(p, line, n, res)
+		if res.Grant != cache.Shared {
+			t.Fatalf("node %d read grant = %v, want Shared", n, res.Grant)
+		}
+	}
+	if got := d.SharerCount(line); got != MaxNodes {
+		t.Fatalf("SharerCount = %d, want %d", got, MaxNodes)
+	}
+	for _, n := range []int{0, 63, 64, MaxNodes - 1} {
+		if !d.IsSharer(line, n) {
+			t.Fatalf("node %d not recorded as sharer", n)
+		}
+	}
+
+	// Snapshot round-trip with bits set in the high sharer word.
+	w := snapshot.NewWriter()
+	d.SaveState(w.Section("directory"))
+	var buf bytes.Buffer
+	if err := w.Emit(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := snapshot.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := r.Section("directory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := setup(MaxNodes)
+	if err := d2.LoadState(dec); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.SharerCount(line); got != MaxNodes {
+		t.Fatalf("restored SharerCount = %d, want %d", got, MaxNodes)
+	}
+	if !d2.IsSharer(line, MaxNodes-1) {
+		t.Fatal("restored directory lost the high-word sharer bit")
+	}
+
+	res := d.Write(line, MaxNodes-1)
+	apply(p, line, MaxNodes-1, res)
+	if res.Invalidations != MaxNodes-1 {
+		t.Fatalf("write invalidations = %d, want %d", res.Invalidations, MaxNodes-1)
+	}
+	if !res.Upgrade {
+		t.Fatal("writer held a shared copy; expected an upgrade")
+	}
+	if owner, dirty := d.OwnerOf(line); owner != MaxNodes-1 || !dirty {
+		t.Fatalf("owner = %d dirty %v after wide write", owner, dirty)
+	}
+	if got := d.SharerCount(line); got != 1 {
+		t.Fatalf("SharerCount after write = %d, want 1", got)
 	}
 }

@@ -23,7 +23,7 @@ func TestLineTableDifferential(t *testing.T) {
 		line := key()
 		switch rng.Intn(4) {
 		case 0: // insert/update through ref()
-			e := entry{sharers: rng.Uint64(), owner: int8(rng.Intn(8) + 1)}
+			e := entry{sharers: sharerSet{rng.Uint64(), rng.Uint64()}, owner: int16(rng.Intn(8) + 1)}
 			*tab.ref(line) = e
 			ref[line] = e
 		case 1: // delete

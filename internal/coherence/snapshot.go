@@ -30,7 +30,9 @@ func (d *Directory) SaveState(e *snapshot.Encoder) {
 	e.Int(len(pairs))
 	for _, p := range pairs {
 		e.U64(p.key)
-		e.U64(p.ent.sharers)
+		for _, w := range p.ent.sharers {
+			e.U64(w)
+		}
 		e.I64(int64(p.ent.owner))
 		e.Bool(p.ent.dirty)
 		e.Bool(p.ent.inRAC)
@@ -64,9 +66,13 @@ func (d *Directory) LoadState(dec *snapshot.Decoder) error {
 	var prevKey uint64
 	for i := 0; i < live; i++ {
 		key := dec.U64()
+		var sh sharerSet
+		for w := range sh {
+			sh[w] = dec.U64()
+		}
 		ent := entry{
-			sharers: dec.U64(),
-			owner:   int8(dec.I64()),
+			sharers: sh,
+			owner:   int16(dec.I64()),
 			dirty:   dec.Bool(),
 			inRAC:   dec.Bool(),
 		}
@@ -83,10 +89,10 @@ func (d *Directory) LoadState(dec *snapshot.Decoder) error {
 		if int(ent.owner) < 0 || int(ent.owner) > d.nodes {
 			return fmt.Errorf("coherence: entry %d owner %d out of range 0..%d", i, ent.owner, d.nodes)
 		}
-		if d.nodes < MaxNodes && ent.sharers>>uint(d.nodes) != 0 {
+		if ent.sharers.beyond(d.nodes) {
 			return fmt.Errorf("coherence: entry %d sharer bits beyond %d nodes", i, d.nodes)
 		}
-		if ent.sharers == 0 && !ent.hasOwner() {
+		if ent.sharers.empty() && !ent.hasOwner() {
 			return fmt.Errorf("coherence: entry %d is the zero entry and should be absent", i)
 		}
 		for j := t.slotOf(key); ; j = (j + 1) & t.mask {

@@ -116,7 +116,7 @@ func (c Config) L2CacheConfig() cache.Config {
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if c.Processors <= 0 || c.Processors > 64 {
+	if c.Processors <= 0 || c.Processors > 128 {
 		return fmt.Errorf("core: %d processors out of range", c.Processors)
 	}
 	if c.CoresPerChip < 0 || (c.CoresPerChip > 1 && c.Processors%c.CoresPerChip != 0) {
