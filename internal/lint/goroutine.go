@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// ApprovedGoroutineFiles are the only files under internal/ allowed to start
+// goroutines. Everything the simulator computes must be a pure function of
+// configuration and seed, and the two files below are the only places where
+// concurrency has a proven determinism argument:
+//
+//   - internal/core/shard.go: the epoch-sharded stepping engine, whose
+//     barrier protocol guarantees parallel phases execute exactly the
+//     serial-order prefix (see DESIGN.md, "Event-queue core");
+//   - internal/experiments/runner.go: the experiment worker pool, which
+//     parallelizes across independent System instances that share no
+//     mutable state.
+//
+// A `go` statement anywhere else under internal/ is an unreviewed
+// concurrency seam and is reported.
+var ApprovedGoroutineFiles = []string{
+	"internal/core/shard.go",
+	"internal/experiments/runner.go",
+}
+
+// NewGoroutineDiscipline returns the goroutine-discipline analyzer: inside
+// internal/ packages, `go` statements may appear only in the approved files.
+// approved entries are slash-separated path suffixes matched against the
+// file the statement appears in.
+func NewGoroutineDiscipline(approved []string) *Analyzer {
+	a := &Analyzer{
+		Name: "goroutine",
+		Doc: "forbid `go` statements under internal/ outside the approved concurrency\n" +
+			"seams (the epoch-sharded stepping engine and the experiment worker pool);\n" +
+			"ad-hoc goroutines are how nondeterminism and data races enter a simulator",
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.Internal() {
+			return
+		}
+		for _, f := range pass.Files {
+			name := filepath.ToSlash(pass.Fset.Position(f.Pos()).Filename)
+			if approvedGoroutineFile(name, approved) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(g.Pos(), "go statement outside the approved concurrency seams; deterministic parallelism belongs in the epoch scheduler (internal/core/shard.go) or the experiment runner pool")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func approvedGoroutineFile(name string, approved []string) bool {
+	for _, suffix := range approved {
+		if name == suffix || strings.HasSuffix(name, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,4 +1,4 @@
-// Package lint is the project's static-analysis suite: four analyzers that
+// Package lint is the project's static-analysis suite: five analyzers that
 // machine-check the contracts the reproduction depends on but the compiler
 // cannot see. The `internal/sim` package doc promises that every run is a
 // pure function of configuration and seed; PR 1 fixed a `Uint64() % n`
@@ -17,6 +17,10 @@
 //     counter field or counter accessor without a dominating zero test.
 //   - counterowner: stats.MissTable and stats.RunResult counter fields are
 //     written only by the stats package's Count*/Add* accumulators.
+//   - goroutine: `go` statements under internal/ appear only in the two
+//     approved concurrency seams (the epoch-sharded stepping engine and
+//     the experiment worker pool), whose determinism arguments are
+//     documented and tested.
 //
 // A diagnostic can be suppressed with a trailing or immediately preceding
 // comment of the form
@@ -173,6 +177,7 @@ func All() []*Analyzer {
 		NewRNGDiscipline(SimPkgPath),
 		NewZeroGuard(),
 		NewCounterOwner(StatsPkgPath),
+		NewGoroutineDiscipline(ApprovedGoroutineFiles),
 	}
 }
 

@@ -107,6 +107,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"counterowner/counters", []*Analyzer{NewCounterOwner(ownerFixture)}},
 		{"counterowner", []*Analyzer{NewCounterOwner(ownerFixture)}},
 		{"counterowner/real", []*Analyzer{NewCounterOwner(StatsPkgPath)}},
+		{"goroutine", []*Analyzer{NewGoroutineDiscipline([]string{"testdata/goroutine/approved.go"})}},
 	}
 	ld := testLoader(t)
 	for _, tc := range cases {

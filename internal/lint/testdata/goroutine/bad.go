@@ -1,0 +1,17 @@
+// Package goroutine exercises the goroutine-discipline analyzer: a `go`
+// statement in an unapproved file under internal/ is reported, while the
+// identical statement in an approved concurrency seam (approved.go in this
+// fixture) stays silent.
+package goroutine
+
+func spawnUnapproved(done chan struct{}) {
+	go func() { close(done) }() // want "go statement outside the approved concurrency seams"
+}
+
+func spawnNested(jobs []int, done chan struct{}) {
+	for range jobs {
+		go worker(done) // want "go statement outside the approved concurrency seams"
+	}
+}
+
+func worker(done chan struct{}) { <-done }
