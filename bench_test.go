@@ -8,6 +8,7 @@ import (
 	"oltpsim/internal/coherence"
 	"oltpsim/internal/dss"
 	"oltpsim/internal/experiments"
+	"oltpsim/internal/lint"
 	"oltpsim/internal/memref"
 	"oltpsim/internal/oltp"
 	"oltpsim/internal/sim"
@@ -521,3 +522,35 @@ func BenchmarkStep64Serial(b *testing.B) { benchStepWorkers(b, 1) }
 // BenchmarkStep64Sharded runs the same 64-node configuration with four
 // epoch-shard workers.
 func BenchmarkStep64Sharded(b *testing.B) { benchStepWorkers(b, 4) }
+
+// BenchmarkOltpvet times the full static-analysis suite over the whole
+// module: load and type-check every package from source, build the
+// conservative call graph, and run all eight analyzers. The suite runs on
+// every CI push, so a super-linear regression in the analysis substrate
+// (the call-graph builder, the reachability sweeps) shows up in the bench
+// guard like any simulator regression. Each iteration starts from a fresh
+// loader — package and graph caches must not carry over, since cold
+// analysis time is what CI pays.
+func BenchmarkOltpvet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ld, err := lint.NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths, err := ld.Expand([]string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := lint.NewProgram(ld, paths)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(prog.Broken) > 0 {
+			b.Fatalf("%s does not type-check: %v", prog.Broken[0].Path, prog.Broken[0].TypeErrors)
+		}
+		if diags := prog.Run(lint.All(), paths...); len(diags) != 0 {
+			b.Fatalf("repo is not clean: %v", diags)
+		}
+	}
+}

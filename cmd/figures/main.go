@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -216,7 +217,14 @@ func saveWarmDir(c *experiments.WarmCache, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for key, data := range c.Entries() {
+	entries := c.Entries()
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		data := entries[key]
 		w := snapshot.NewWriter()
 		w.Section("key").String(key)
 		w.Section("data").U8s(data)

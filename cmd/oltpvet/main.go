@@ -2,89 +2,148 @@
 // over the given packages and exits non-zero on any diagnostic. It enforces
 // the contracts the compiler cannot see: determinism (no wall clock,
 // environment, or global randomness under internal/), RNG discipline (no
-// modulo bias, no constant seeds), zero-guarded counter ratios, and
-// stats-owned counter mutation.
+// modulo bias, no constant seeds), zero-guarded counter ratios, stats-owned
+// counter mutation, goroutine discipline, snapshot coverage (every mutable
+// field of a SaveState/LoadState pair is serialized or marked derived),
+// map-iteration order on paths that flow to output, and allocation-prone
+// constructs on the core.System.Step hot path.
 //
 // Usage:
 //
-//	oltpvet [-doc] [packages...]
+//	oltpvet [-doc] [-json] [packages...]
 //
 // Packages default to ./... relative to the module root. Patterns accept
-// the usual ./dir and ./dir/... forms. Suppress a diagnostic with a
-// trailing or immediately preceding comment:
+// the usual ./dir and ./dir/... forms. Whatever the patterns select, the
+// whole module is always loaded as the analysis program: the call-graph
+// analyzers need every caller and callee to reason about reachability, and
+// the patterns only scope which packages' diagnostics are reported.
+//
+// With -json, diagnostics are written to stdout as one JSON array of
+// {file, line, col, analyzer, message} records — the shape CI turns into
+// GitHub annotations. The human format (file:line:col: analyzer: message)
+// stays the default.
+//
+// Suppress a diagnostic with a trailing or immediately preceding comment:
 //
 //	//oltpvet:allow <reason>
 //
-// The reason is mandatory. Test files are not analyzed.
+// The reason is mandatory, as it is for the //oltpvet:derived and
+// //oltpvet:coldpath exemption annotations. Test files are not analyzed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"oltpsim/internal/lint"
 )
 
 func main() {
-	doc := flag.Bool("doc", false, "print each analyzer's documentation and exit")
-	verbose := flag.Bool("v", false, "list analyzed packages")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the -json record shape; a stable contract for CI tooling.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("oltpvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	doc := fs.Bool("doc", false, "print each analyzer's documentation and exit")
+	verbose := fs.Bool("v", false, "list analyzed packages")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array of {file,line,col,analyzer,message} records")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.All()
 	if *doc {
 		for _, a := range analyzers {
-			fmt.Printf("%s:\n  %s\n", a.Name, indent(a.Doc))
+			fmt.Fprintf(stdout, "%s:\n  %s\n", a.Name, indent(a.Doc))
 		}
-		return
+		return 0
 	}
 
 	wd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	ld, err := lint.NewLoader(wd)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	paths, err := ld.Expand(patterns)
+	reportPaths, err := ld.Expand(patterns)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
+	}
+	universe, err := ld.Expand([]string{"./..."})
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	prog, err := lint.NewProgram(ld, universe)
+	if err != nil {
+		return fatal(stderr, err)
 	}
 
 	failed := false
-	for _, path := range paths {
-		pkg, err := ld.Load(path)
-		if err != nil {
-			fatal(err)
+	for _, pkg := range prog.Broken {
+		// Analysis over a package that does not type-check is unreliable;
+		// surface the first error and count it as failure.
+		fmt.Fprintf(stderr, "oltpvet: %s does not type-check: %v\n", pkg.Path, pkg.TypeErrors[0])
+		failed = true
+	}
+	if *verbose {
+		for _, path := range reportPaths {
+			fmt.Fprintln(stderr, path)
 		}
-		if len(pkg.TypeErrors) > 0 {
-			// Analysis over a package that does not type-check is
-			// unreliable; surface the first error and count it as failure.
-			fmt.Fprintf(os.Stderr, "oltpvet: %s does not type-check: %v\n", path, pkg.TypeErrors[0])
-			failed = true
-			continue
+	}
+
+	diags := prog.Run(analyzers, reportPaths...)
+	if len(diags) > 0 {
+		failed = true
+	}
+	if *asJSON {
+		records := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			records = append(records, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
-		if *verbose {
-			fmt.Fprintln(os.Stderr, path)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			return fatal(stderr, err)
 		}
-		for _, d := range lint.Run(pkg, analyzers) {
-			fmt.Println(d)
-			failed = true
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "oltpvet:", err)
-	os.Exit(2)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "oltpvet:", err)
+	return 2
 }
 
 func indent(s string) string {

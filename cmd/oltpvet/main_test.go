@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// violation is the single diagnostic the golden module produces: a wall
+// clock read under internal/. Line and column below are pinned to this
+// exact source.
+const violation = `// Package clock reads the wall clock.
+package clock
+
+import "time"
+
+// Now leaks wall-clock time.
+func Now() int64 { return time.Now().UnixNano() }
+`
+
+// writeModule lays out a self-contained one-package module and chdirs into
+// it, returning the resolved root (the loader and the diagnostics use the
+// resolved working directory, which may differ from TempDir through
+// symlinks).
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/go.mod", []byte("module vettest\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir+"/internal/clock", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/internal/clock/clock.go", []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+	resolved, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resolved
+}
+
+// TestHumanGolden pins the default output format byte for byte:
+// file:line:col: analyzer: message, one line per diagnostic, exit 1.
+func TestHumanGolden(t *testing.T) {
+	dir := writeModule(t, violation)
+	var stdout, stderr bytes.Buffer
+	code := run(nil, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	got := strings.ReplaceAll(stdout.String(), dir, "$MOD")
+	want := "$MOD/internal/clock/clock.go:7:27: determinism: time.Now is a wall clock; a simulation run must be a pure function of config and seed\n"
+	if got != want {
+		t.Errorf("human output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestJSONGolden pins the -json record shape byte for byte: a stable
+// contract for the CI artifact and annotation tooling.
+func TestJSONGolden(t *testing.T) {
+	dir := writeModule(t, violation)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	got := strings.ReplaceAll(stdout.String(), dir, "$MOD")
+	want := `[
+  {
+    "file": "$MOD/internal/clock/clock.go",
+    "line": 7,
+    "col": 27,
+    "analyzer": "determinism",
+    "message": "time.Now is a wall clock; a simulation run must be a pure function of config and seed"
+  }
+]
+`
+	if got != want {
+		t.Errorf("json output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCleanModule checks the quiet path in both formats: exit 0, no human
+// lines, and an empty (non-null) JSON array.
+func TestCleanModule(t *testing.T) {
+	writeModule(t, "// Package clock is deterministic.\npackage clock\n\n// Zero is zero.\nfunc Zero() int64 { return 0 }\n")
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s stderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("human output for a clean module = %q, want empty", stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-json exit = %d, want 0", code)
+	}
+	if got := stdout.String(); got != "[]\n" {
+		t.Errorf("-json output for a clean module = %q, want %q", got, "[]\n")
+	}
+}
+
+// TestDocListsAllAnalyzers keeps -doc in sync with the suite.
+func TestDocListsAllAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-doc"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-doc exit = %d, want 0", code)
+	}
+	for _, name := range []string{
+		"determinism", "rngdiscipline", "zeroguard", "counterowner",
+		"goroutine", "snapshotcomplete", "maporder", "hotpathalloc",
+	} {
+		if !strings.Contains(stdout.String(), name+":") {
+			t.Errorf("-doc output is missing analyzer %s", name)
+		}
+	}
+}

@@ -54,6 +54,8 @@ func NewClassifier(capacityLines int) *Classifier {
 // Observe must be called for every access to the shadowed cache, with hit
 // reporting the real cache's outcome. On a miss it returns the class; on a
 // hit the returned class is meaningless and ok is false.
+//
+//oltpvet:coldpath diagnostic-only instrumentation: Classify configs are excluded from the 0 allocs/op steady-state contract (and cannot be snapshotted), so the shadow structures may allocate
 func (cl *Classifier) Observe(line uint64, hit bool) (MissClass, bool) {
 	_, everSeen := cl.seen[line]
 	if !everSeen {

@@ -117,9 +117,11 @@ type System struct {
 	// and done cores cost nothing per step, unlike the former O(P) scan.
 	// The (clock, then lowest index) key ordering reproduces the scan's
 	// tie-break exactly, so the reference interleaving is byte-identical.
+	//oltpvet:derived not saved: Load rebuilds the heap from the restored per-core clocks (rebuildHeap)
 	heap []int32
-	pos  []int32
-	dir  *coherence.Directory
+	//oltpvet:derived not saved: rebuilt alongside heap by rebuildHeap on load
+	pos []int32
+	dir *coherence.Directory
 
 	// latByCat / stallByCat are latFor/stallFor precomputed as arrays
 	// indexed by coherence.Category, so the per-miss category mapping is a
@@ -135,8 +137,10 @@ type System struct {
 
 	// stepWorkers > 1 turns on epoch-sharded stepping (shard.go) for
 	// eligible configurations; eng is its reusable scratch state.
+	//oltpvet:derived execution policy, not machine state: SetStepWorkers reconfigures it after load
 	stepWorkers int
-	eng         *epochEngine
+	//oltpvet:derived scratch for the sharded engine, rebuilt lazily by SetStepWorkers
+	eng *epochEngine
 
 	writeInvalOps uint64
 	steps         uint64

@@ -144,7 +144,9 @@ type Scheduler struct {
 	ContextSwitches uint64
 	// Preemptions counts slice-expiry switches (subset of ContextSwitches).
 	Preemptions uint64
-	nextID      int
+	// nextID feeds Spawn's process IDs.
+	//oltpvet:derived not saved: LoadState requires the identical process topology, so resume replays the same Spawn sequence and re-derives the counter
+	nextID int
 }
 
 // idleRecheck is how long a CPU with no known wake time naps before

@@ -1,0 +1,542 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Node is one function in the call graph: a declared function or method
+// (Fn non-nil), a function literal (Lit non-nil), or a bodiless function
+// outside the program — an imported or interface function that appears
+// only as a call target.
+type Node struct {
+	// Fn is the type-checker object (its generic origin for instantiated
+	// functions); nil for function literals.
+	Fn *types.Func
+	// Lit is the literal's syntax; nil for declared functions.
+	Lit *ast.FuncLit
+	// Pkg is the program package holding the body; nil for bodiless nodes.
+	Pkg *Package
+	// Decl is the function's declaration; for a literal, the declaration
+	// lexically enclosing it. Nil for bodiless nodes.
+	Decl *ast.FuncDecl
+}
+
+// Body returns the function body, or nil for bodiless nodes.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return nil
+}
+
+// Pos returns the node's source position (NoPos for bodiless stdlib nodes
+// whose file set entry is elsewhere).
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	if n.Fn != nil {
+		return n.Fn.Pos()
+	}
+	return token.NoPos
+}
+
+func (n *Node) String() string {
+	if n.Fn != nil {
+		return n.Fn.FullName()
+	}
+	if n.Decl != nil {
+		return fmt.Sprintf("func literal in %s", n.Decl.Name.Name)
+	}
+	return "func literal"
+}
+
+// CallGraph is a conservative static call graph over a Program. Edges come
+// from four resolution rules, each an over-approximation in the safe
+// direction (extra edges, never missing ones, for anything the loader can
+// see):
+//
+//   - direct calls to declared functions and methods resolve exactly;
+//   - interface method calls resolve to that method on every named type in
+//     the program whose method set satisfies the interface (method-set
+//     resolution, no pointer analysis);
+//   - calls through function-typed values (fields, variables, parameters)
+//     resolve to every function or closure whose value is taken somewhere
+//     in the program with an identical signature;
+//   - referencing a function as a value (method value, callback, closure
+//     creation) adds an edge from the referencing function, since the
+//     referee may run wherever the value flows.
+//
+// The graph does not see through reflection or code outside the loaded
+// packages; neither appears in this repository's non-test code (the
+// determinism analyzer keeps the surface small).
+type CallGraph struct {
+	prog  *Program
+	nodes map[any]*Node // keyed by *types.Func (origin) or *ast.FuncLit
+	// order holds every node in creation order — a deterministic sequence,
+	// since the builder walks sorted packages and files in syntax order —
+	// so no graph traversal ever depends on map iteration order.
+	order   []*Node
+	callees map[*Node][]*Node
+	callers map[*Node][]*Node
+}
+
+// NodeOf returns the graph node for a declared function, or nil if the
+// function was never seen.
+func (g *CallGraph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[originFunc(fn)]
+}
+
+// Callees returns the functions n may call, in deterministic order.
+func (g *CallGraph) Callees(n *Node) []*Node { return g.callees[n] }
+
+// Callers returns the functions that may call n, in deterministic order.
+func (g *CallGraph) Callers(n *Node) []*Node { return g.callers[n] }
+
+// Nodes returns every node in deterministic order.
+func (g *CallGraph) Nodes() []*Node {
+	out := append([]*Node(nil), g.order...)
+	sortNodes(out)
+	return out
+}
+
+// Sorted filters the graph's nodes down to the given set, in deterministic
+// order — the way to iterate a reachability result.
+func (g *CallGraph) Sorted(set map[*Node]bool) []*Node {
+	var out []*Node
+	for _, n := range g.order {
+		if set[n] {
+			out = append(out, n)
+		}
+	}
+	sortNodes(out)
+	return out
+}
+
+// ReachableFrom returns the set of nodes reachable from the roots along
+// callee edges, including the roots. A non-nil skip predicate prunes the
+// walk: a skipped node is neither included nor expanded.
+func (g *CallGraph) ReachableFrom(roots []*Node, skip func(*Node) bool) map[*Node]bool {
+	return g.walk(roots, g.callees, skip)
+}
+
+// Reaching returns the set of nodes from which some sink is reachable
+// along callee edges, including the sinks themselves.
+func (g *CallGraph) Reaching(sinks []*Node, skip func(*Node) bool) map[*Node]bool {
+	return g.walk(sinks, g.callers, skip)
+}
+
+func (g *CallGraph) walk(start []*Node, edges map[*Node][]*Node, skip func(*Node) bool) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var queue []*Node
+	for _, n := range start {
+		if n != nil && !seen[n] && (skip == nil || !skip(n)) {
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[n] {
+			if !seen[next] && (skip == nil || !skip(next)) {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return seen
+}
+
+// originFunc normalizes an instantiated generic function to its origin so
+// every instantiation shares one graph node.
+func originFunc(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// graphBuilder accumulates edges while walking every function body once.
+// Edges are kept in insertion order (deduplicated through seen) so the
+// finished graph never iterates a map.
+type graphBuilder struct {
+	prog  *Program
+	graph *CallGraph
+	edges map[*Node][]*Node
+	seen  map[[2]*Node]bool
+
+	// named is every package-level named type in the program, for
+	// interface method-set resolution.
+	named []*types.Named
+	// implCache memoizes interface-call resolution per (interface, method).
+	implCache map[string][]*types.Func
+	// taken maps a receiver-stripped signature string to every function or
+	// literal whose value is taken somewhere with that signature.
+	taken map[string][]*Node
+	// dynamic records calls through function-typed values, resolved
+	// against taken after the walk.
+	dynamic []dynCall
+}
+
+type dynCall struct {
+	from *Node
+	sig  string
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{
+		prog:    prog,
+		nodes:   make(map[any]*Node),
+		callees: make(map[*Node][]*Node),
+		callers: make(map[*Node][]*Node),
+	}
+	b := &graphBuilder{
+		prog:      prog,
+		graph:     g,
+		edges:     make(map[*Node][]*Node),
+		seen:      make(map[[2]*Node]bool),
+		implCache: make(map[string][]*types.Func),
+		taken:     make(map[string][]*Node),
+	}
+	for _, pkg := range prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if named, ok := tn.Type().(*types.Named); ok {
+					b.named = append(b.named, named)
+				}
+			}
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := b.nodeForFunc(fn)
+				node.Pkg, node.Decl = pkg, fd
+				b.walkBody(node, pkg, fd.Body)
+			}
+		}
+	}
+	// Resolve calls through function-typed values against everything whose
+	// value is taken with a matching signature.
+	for _, dc := range b.dynamic {
+		for _, target := range b.taken[dc.sig] {
+			b.edge(dc.from, target)
+		}
+	}
+	for _, from := range g.order {
+		out := b.edges[from]
+		sortNodes(out)
+		g.callees[from] = out
+		for _, to := range out {
+			g.callers[to] = append(g.callers[to], from)
+		}
+	}
+	for _, n := range g.order {
+		sortNodes(g.callers[n])
+	}
+	return g
+}
+
+func sortNodes(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		a, b := ns[i], ns[j]
+		if a.Pos() != b.Pos() {
+			return a.Pos() < b.Pos()
+		}
+		return a.String() < b.String()
+	})
+}
+
+func (b *graphBuilder) nodeForFunc(fn *types.Func) *Node {
+	fn = originFunc(fn)
+	if n, ok := b.graph.nodes[fn]; ok {
+		return n
+	}
+	n := &Node{Fn: fn}
+	b.graph.nodes[fn] = n
+	b.graph.order = append(b.graph.order, n)
+	return n
+}
+
+func (b *graphBuilder) nodeForLit(lit *ast.FuncLit, pkg *Package, decl *ast.FuncDecl) *Node {
+	if n, ok := b.graph.nodes[lit]; ok {
+		return n
+	}
+	n := &Node{Lit: lit, Pkg: pkg, Decl: decl}
+	b.graph.nodes[lit] = n
+	b.graph.order = append(b.graph.order, n)
+	return n
+}
+
+func (b *graphBuilder) edge(from, to *Node) {
+	k := [2]*Node{from, to}
+	if b.seen[k] {
+		return
+	}
+	b.seen[k] = true
+	b.edges[from] = append(b.edges[from], to)
+}
+
+// sigKey renders a signature with any receiver stripped, so a method value
+// and a plain function of the same shape compare equal.
+func sigKey(sig *types.Signature) string {
+	flat := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return types.TypeString(flat, func(p *types.Package) string { return p.Path() })
+}
+
+// walkBody attributes every call and function-value reference lexically
+// inside body to cur, descending into nested literals as their own nodes.
+func (b *graphBuilder) walkBody(cur *Node, pkg *Package, body *ast.BlockStmt) {
+	var visit func(n ast.Node, cur *Node) bool
+	visit = func(n ast.Node, cur *Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			child := b.nodeForLit(x, pkg, cur.Decl)
+			// Creating a literal both takes its value (it may run wherever
+			// the value flows) and, conservatively, lets the creator call it.
+			if sig, ok := pkg.Info.TypeOf(x).(*types.Signature); ok {
+				b.takeValue(child, sig)
+			}
+			b.edge(cur, child)
+			ast.Inspect(x.Body, func(m ast.Node) bool { return visit(m, child) })
+			return false
+		case *ast.CallExpr:
+			b.call(cur, pkg, x)
+			// Arguments and the callee's operand subtrees still need the
+			// value-reference walk; the call-position function itself is
+			// handled by call, so mark it.
+			for _, arg := range x.Args {
+				ast.Inspect(arg, func(m ast.Node) bool { return visit(m, cur) })
+			}
+			if inner := calleeOperand(x.Fun); inner != nil {
+				ast.Inspect(inner, func(m ast.Node) bool { return visit(m, cur) })
+			}
+			return false
+		case *ast.Ident:
+			b.valueRef(cur, pkg, x, nil)
+			return false
+		case *ast.SelectorExpr:
+			b.valueRef(cur, pkg, x.Sel, x)
+			ast.Inspect(x.X, func(m ast.Node) bool { return visit(m, cur) })
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return visit(n, cur) })
+}
+
+// calleeOperand returns the receiver/operand expression of a call target
+// whose nested expressions still need walking (x in x.M(), f in f[T]()),
+// or nil when the target is a bare identifier or literal.
+func calleeOperand(fun ast.Expr) ast.Expr {
+	switch x := ast.Unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		return x.X
+	case *ast.IndexExpr:
+		return x.X
+	case *ast.IndexListExpr:
+		return x.X
+	}
+	return nil
+}
+
+// takeValue registers a node as address-taken under its signature.
+func (b *graphBuilder) takeValue(n *Node, sig *types.Signature) {
+	key := sigKey(sig)
+	for _, prev := range b.taken[key] {
+		if prev == n {
+			return
+		}
+	}
+	b.taken[key] = append(b.taken[key], n)
+}
+
+// valueRef handles a function referenced as a value (not called): the
+// referee becomes address-taken and the referencing function gains a
+// conservative edge to it. sel is non-nil when the reference is a selector
+// (method value or qualified function).
+func (b *graphBuilder) valueRef(cur *Node, pkg *Package, id *ast.Ident, sel *ast.SelectorExpr) {
+	if sel != nil {
+		if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			fn, _ := s.Obj().(*types.Func)
+			if fn == nil {
+				return
+			}
+			if types.IsInterface(s.Recv()) {
+				for _, impl := range b.implementations(s.Recv(), fn.Name()) {
+					n := b.nodeForFunc(impl)
+					b.takeValue(n, boundSig(impl))
+					b.edge(cur, n)
+				}
+				return
+			}
+			n := b.nodeForFunc(fn)
+			b.takeValue(n, boundSig(fn))
+			b.edge(cur, n)
+			return
+		}
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	if fn == nil {
+		return
+	}
+	n := b.nodeForFunc(fn)
+	if sig := boundSig(fn); sig != nil {
+		b.takeValue(n, sig)
+	}
+	b.edge(cur, n)
+}
+
+// boundSig returns a function's signature; for methods the receiver is
+// stripped by sigKey, matching how a bound method value is called.
+func boundSig(fn *types.Func) *types.Signature {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// call resolves one call expression into edges.
+func (b *graphBuilder) call(cur *Node, pkg *Package, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation f[T](...) or m[T](...).
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	switch x := fun.(type) {
+	case *ast.FuncLit:
+		b.edge(cur, b.nodeForLit(x, pkg, cur.Decl))
+		return
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[x].(type) {
+		case *types.Func:
+			b.edge(cur, b.nodeForFunc(obj))
+			return
+		case *types.Builtin, *types.TypeName, nil:
+			return // builtin or conversion
+		case *types.Var:
+			b.dynamicCall(cur, obj.Type())
+			return
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[x]; ok {
+			switch s.Kind() {
+			case types.MethodVal:
+				fn, _ := s.Obj().(*types.Func)
+				if fn == nil {
+					return
+				}
+				if types.IsInterface(s.Recv()) {
+					b.interfaceCall(cur, s.Recv(), fn)
+					return
+				}
+				b.edge(cur, b.nodeForFunc(fn))
+				return
+			case types.FieldVal:
+				b.dynamicCall(cur, s.Obj().Type())
+				return
+			}
+		}
+		// Qualified reference pkg.F or method expression used directly.
+		switch obj := pkg.Info.Uses[x.Sel].(type) {
+		case *types.Func:
+			b.edge(cur, b.nodeForFunc(obj))
+		case *types.Var:
+			b.dynamicCall(cur, obj.Type())
+		}
+		return
+	}
+	// Anything else (call of a call result, indexed function slice, ...)
+	// is a dynamic call through the expression's signature.
+	if t := pkg.Info.TypeOf(call.Fun); t != nil {
+		b.dynamicCall(cur, t)
+	}
+}
+
+func (b *graphBuilder) dynamicCall(cur *Node, t types.Type) {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	b.dynamic = append(b.dynamic, dynCall{from: cur, sig: sigKey(sig)})
+}
+
+// interfaceCall resolves a call through an interface to that method on
+// every named program type whose method set satisfies the interface.
+func (b *graphBuilder) interfaceCall(cur *Node, recv types.Type, ifaceMethod *types.Func) {
+	// The interface method itself gets an edge too: it is bodiless, but
+	// keeps the call visible in the graph even with no implementations.
+	b.edge(cur, b.nodeForFunc(ifaceMethod))
+	for _, impl := range b.implementations(recv, ifaceMethod.Name()) {
+		b.edge(cur, b.nodeForFunc(impl))
+	}
+}
+
+// implementations finds the named method on every program type satisfying
+// the interface type recv (a type parameter resolves to its constraint).
+func (b *graphBuilder) implementations(recv types.Type, name string) []*types.Func {
+	if tp, ok := recv.(*types.TypeParam); ok {
+		recv = tp.Constraint()
+	}
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	key := fmt.Sprintf("%s\x00%s", types.TypeString(iface, func(p *types.Package) string { return p.Path() }), name)
+	if impls, ok := b.implCache[key]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, named := range b.named {
+		if types.IsInterface(named) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), name)
+		if fn, ok := obj.(*types.Func); ok {
+			impls = append(impls, originFunc(fn))
+		}
+	}
+	b.implCache[key] = impls
+	return impls
+}
+
+// funcAnnotation scans a declaration's doc comment for an //oltpvet:<kind>
+// marker and returns its reason. Used for the coldpath marker on function
+// declarations.
+func funcAnnotation(decl *ast.FuncDecl, prefix string) (reason string, ok bool) {
+	if decl == nil || decl.Doc == nil {
+		return "", false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, prefix) {
+			return strings.TrimSpace(strings.TrimPrefix(c.Text, prefix)), true
+		}
+	}
+	return "", false
+}

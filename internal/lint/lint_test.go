@@ -118,21 +118,33 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 }
 
 // TestAllowComments checks the suppression convention end to end: an inline
-// allow comment and a standalone allow comment each suppress one
-// diagnostic, while a bare allow (no reason) suppresses nothing and is
-// itself reported.
+// allow comment, a standalone allow comment, and a marker inside a larger
+// comment group each suppress one diagnostic (the group anchors on its own
+// last line), while a bare allow (no reason) suppresses nothing and is
+// itself reported, and a marker separated from the code by a blank line
+// reaches nothing.
 func TestAllowComments(t *testing.T) {
 	ld := testLoader(t)
 	pkg := loadFixture(t, ld, "allow")
 	diags := Run(pkg, []*Analyzer{NewDeterminism()})
-	if len(diags) != 2 {
-		t.Fatalf("want exactly 2 diagnostics (bare allow + unsuppressed time.Now), got %d:\n%v", len(diags), diags)
+	if len(diags) != 3 {
+		t.Fatalf("want exactly 3 diagnostics (bare allow + its unsuppressed time.Now + detached time.Now), got %d:\n%v", len(diags), diags)
 	}
-	if diags[0].Analyzer != "allow" || !strings.Contains(diags[0].Message, "needs a reason") {
+	if diags[0].Analyzer != "annotation" || !strings.Contains(diags[0].Message, "needs a reason") {
 		t.Errorf("first diagnostic should report the bare allow comment, got %s", diags[0])
 	}
 	if diags[1].Analyzer != "determinism" || !strings.Contains(diags[1].Message, "time.Now") {
-		t.Errorf("second diagnostic should be the unsuppressed time.Now, got %s", diags[1])
+		t.Errorf("second diagnostic should be bare()'s unsuppressed time.Now, got %s", diags[1])
+	}
+	if diags[2].Analyzer != "determinism" || !strings.Contains(diags[2].Message, "time.Now") {
+		t.Errorf("third diagnostic should be detached()'s time.Now past the blank line, got %s", diags[2])
+	}
+	// groupedMid's call must be suppressed: the marker sits mid-group and
+	// anchors on the line after the group's end, not its own next line.
+	for _, d := range diags {
+		if d.Pos.Line > 20 && d.Pos.Line < 28 {
+			t.Errorf("groupedMid's suppressed call leaked a diagnostic: %s", d)
+		}
 	}
 }
 
@@ -173,7 +185,9 @@ func TestExpandSkipsTestdata(t *testing.T) {
 }
 
 // TestRepoIsClean is the acceptance criterion as a regression test: the
-// full analyzer suite over every package of the module must report nothing.
+// full analyzer suite over every package of the module must report
+// nothing. The whole module loads into one Program so the call-graph
+// analyzers see the same cross-package flows the oltpvet binary does.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -183,17 +197,15 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range paths {
-		pkg, err := ld.Load(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(pkg.TypeErrors) > 0 {
-			t.Fatalf("%s does not type-check: %v", path, pkg.TypeErrors)
-		}
-		for _, d := range Run(pkg, All()) {
-			t.Errorf("%s", d)
-		}
+	prog, err := NewProgram(ld, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range prog.Broken {
+		t.Fatalf("%s does not type-check: %v", pkg.Path, pkg.TypeErrors)
+	}
+	for _, d := range prog.Run(All()) {
+		t.Errorf("%s", d)
 	}
 }
 

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// Program is a set of packages analyzed together: the unit over which the
+// call graph and the cross-package fact store are built. Per-file pattern
+// matching (the PR-2 analyzers) needs only one package at a time; the
+// contract analyzers added in PR 7 (snapshotcomplete, maporder,
+// hotpathalloc) reason about flows that cross package boundaries — a map
+// iterated in internal/experiments whose slice is printed by cmd/figures,
+// or an allocation in internal/kernel reached from core.System.Step — so
+// the driver loads the whole module into one Program and runs the suite
+// over it.
+type Program struct {
+	Loader *Loader
+	// Pkgs are the successfully type-checked packages, sorted by import
+	// path so every traversal of the program is deterministic.
+	Pkgs []*Package
+	// Broken are packages that failed to type-check. They are excluded
+	// from the call graph (analysis over them is unreliable); the driver
+	// reports them as failures.
+	Broken []*Package
+
+	byPath map[string]*Package
+	graph  *CallGraph
+	facts  *Facts
+}
+
+// NewProgram loads every listed package into one analysis program.
+// Duplicate paths are loaded once.
+func NewProgram(ld *Loader, paths []string) (*Program, error) {
+	prog := &Program{Loader: ld, byPath: make(map[string]*Package), facts: NewFacts()}
+	seen := make(map[string]bool)
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	for _, path := range sorted {
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		pkg, err := ld.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			prog.Broken = append(prog.Broken, pkg)
+			continue
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.byPath[path] = pkg
+	}
+	return prog, nil
+}
+
+// Package returns the type-checked package at path, or nil.
+func (prog *Program) Package(path string) *Package { return prog.byPath[path] }
+
+// Facts returns the program's cross-package fact store.
+func (prog *Program) Facts() *Facts { return prog.facts }
+
+// CallGraph returns the program's conservative static call graph, building
+// it on first use.
+func (prog *Program) CallGraph() *CallGraph {
+	if prog.graph == nil {
+		prog.graph = buildCallGraph(prog)
+	}
+	return prog.graph
+}
+
+// LookupFunc resolves a function or method in the program: pkgPath.name for
+// a package function (typeName empty), or the method name on type typeName
+// (value or pointer receiver). Returns nil if the package is not in the
+// program or the object does not exist.
+func (prog *Program) LookupFunc(pkgPath, typeName, name string) *types.Func {
+	pkg := prog.byPath[pkgPath]
+	if pkg == nil || pkg.Types == nil {
+		return nil
+	}
+	scope := pkg.Types.Scope()
+	if typeName == "" {
+		f, _ := scope.Lookup(name).(*types.Func)
+		return f
+	}
+	tn, _ := scope.Lookup(typeName).(*types.TypeName)
+	if tn == nil {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pkg.Types, name)
+	f, _ := obj.(*types.Func)
+	if f != nil {
+		return originFunc(f)
+	}
+	return nil
+}
+
+// Run applies the analyzers to the program: every analyzer's Collect phase
+// runs over every package first (publishing facts), then the Run phase
+// reports diagnostics for the packages named in reportPaths (all packages
+// when empty). Suppression comments are honored.
+func (prog *Program) Run(analyzers []*Analyzer, reportPaths ...string) []Diagnostic {
+	return prog.run(analyzers, reportPaths, true)
+}
+
+// RunUnsuppressed is Run with //oltpvet:allow comments ignored: every raw
+// diagnostic is returned. The clean-repo pin uses it so a suppression can
+// never hide a finding from the analyzers whose zero-findings state is a
+// committed invariant.
+func (prog *Program) RunUnsuppressed(analyzers []*Analyzer, reportPaths ...string) []Diagnostic {
+	return prog.run(analyzers, reportPaths, false)
+}
+
+func (prog *Program) run(analyzers []*Analyzer, reportPaths []string, suppressed bool) []Diagnostic {
+	var diags []Diagnostic
+	pass := func(pkg *Package, a *Analyzer, phase func(*Pass)) {
+		phase(&Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Files:    pkg.Files,
+			Prog:     prog,
+			diags:    &diags,
+		})
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			if a.Collect != nil {
+				pass(pkg, a, a.Collect)
+			}
+		}
+	}
+	report := prog.Pkgs
+	if len(reportPaths) > 0 {
+		report = nil
+		for _, path := range reportPaths {
+			if pkg := prog.byPath[path]; pkg != nil {
+				report = append(report, pkg)
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, pkg := range report {
+		diags = diags[:0]
+		for _, a := range analyzers {
+			if a.Run != nil {
+				pass(pkg, a, a.Run)
+			}
+		}
+		if suppressed {
+			out = append(out, suppress(pkg, diags)...)
+		} else {
+			out = append(out, diags...)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// Fact is one piece of cross-package knowledge an analyzer published.
+type Fact struct {
+	// Analyzer is the publishing analyzer's name.
+	Analyzer string
+	// Pkg is the import path of the package the fact describes.
+	Pkg string
+	// Key distinguishes facts within one (analyzer, package).
+	Key string
+	// Value is the payload; consumers type-assert it.
+	Value any
+}
+
+// Facts is the program-wide fact store: analyzers publish facts about
+// their package during the Collect phase and query facts from every
+// package during the Run phase — the same split go/analysis uses, so an
+// analyzer never observes a partially populated store.
+type Facts struct {
+	facts []Fact
+	index map[string]int
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{index: make(map[string]int)} }
+
+func factKey(analyzer, pkg, key string) string {
+	return fmt.Sprintf("%s\x00%s\x00%s", analyzer, pkg, key)
+}
+
+// Publish records a fact, overwriting any previous value under the same
+// (analyzer, pkg, key).
+func (f *Facts) Publish(analyzer, pkg, key string, value any) {
+	k := factKey(analyzer, pkg, key)
+	if i, ok := f.index[k]; ok {
+		f.facts[i].Value = value
+		return
+	}
+	f.index[k] = len(f.facts)
+	f.facts = append(f.facts, Fact{Analyzer: analyzer, Pkg: pkg, Key: key, Value: value})
+}
+
+// Lookup returns the fact under (analyzer, pkg, key).
+func (f *Facts) Lookup(analyzer, pkg, key string) (any, bool) {
+	if i, ok := f.index[factKey(analyzer, pkg, key)]; ok {
+		return f.facts[i].Value, true
+	}
+	return nil, false
+}
+
+// All returns every fact the named analyzer published, in a deterministic
+// (pkg, key) order.
+func (f *Facts) All(analyzer string) []Fact {
+	var out []Fact
+	for _, ft := range f.facts {
+		if ft.Analyzer == analyzer {
+			out = append(out, ft)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

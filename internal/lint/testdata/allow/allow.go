@@ -18,3 +18,16 @@ func standalone() int64 {
 func bare() int64 {
 	return time.Now().UnixNano()
 }
+
+func groupedMid() int64 {
+	// The justification below runs past the marker; the suppression anchors
+	//oltpvet:allow a marker inside a comment group covers the group's next line
+	// on the line after the whole group, not the line after the marker.
+	return time.Now().UnixNano()
+}
+
+func detached() int64 {
+	//oltpvet:allow a blank line ends the group, so this reaches nothing
+
+	return time.Now().UnixNano()
+}

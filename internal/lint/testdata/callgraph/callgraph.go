@@ -1,0 +1,49 @@
+// Package callgraph is the fixture for the conservative call-graph
+// resolution tests: interface calls resolve to every implementation,
+// method values taken as callbacks resolve through dynamic calls, and
+// function literals are nodes of their own.
+package callgraph
+
+// Runner is implemented by Direct (value receiver) and Indirect (pointer
+// receiver); a call through the interface must resolve to both.
+type Runner interface{ Run() int }
+
+// Direct implements Runner on the value type.
+type Direct struct{ n int }
+
+// Run implements Runner.
+func (d Direct) Run() int { return d.n }
+
+// Indirect implements Runner only on the pointer type.
+type Indirect struct{ n int }
+
+// Run implements Runner.
+func (i *Indirect) Run() int { return i.n }
+
+// helper's bump method is passed around as a method value.
+type helper struct{ n int }
+
+func (h helper) bump() int { return h.n + 1 }
+
+// Entry drives every resolution shape the tests assert on.
+func Entry(r Runner) int {
+	total := r.Run()
+	total += apply(callback)
+	h := helper{}
+	total += apply(h.bump)
+	f := func() int { return leafLit() }
+	total += f()
+	return total
+}
+
+// apply invokes its parameter dynamically: the graph must connect it to
+// every address-taken function of matching signature.
+func apply(f func() int) int { return f() }
+
+func callback() int { return 1 }
+
+func leafLit() int { return 2 }
+
+// unused is never called and never taken, and its signature matches no
+// dynamic call: it must stay unreachable from Entry.
+func unused(s string) string { return s + "!" }

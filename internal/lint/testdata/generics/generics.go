@@ -1,0 +1,62 @@
+// Package generics is the loader edge-case fixture: generic types and
+// functions must type-check, resolve through the call graph, and satisfy
+// the snapshot-coverage analyzer without diagnostics — type parameters are
+// exempt from boxing judgments and method sets resolve through the origin
+// type.
+package generics
+
+// Enc is a stand-in encoder.
+type Enc struct {
+	ints []int
+	r    int
+}
+
+// Int records one value.
+func (e *Enc) Int(v int) { e.ints = append(e.ints, v) }
+
+// Next replays one value.
+func (e *Enc) Next() int {
+	v := e.ints[e.r]
+	e.r++
+	return v
+}
+
+// Stack is a generic container with a snapshot pair: coverage analysis runs
+// on the origin type's fields.
+type Stack[T any] struct {
+	items []T
+	top   int
+}
+
+// Push mutates both fields.
+func (s *Stack[T]) Push(v T) {
+	s.items = append(s.items, v)
+	s.top++
+}
+
+// SaveState references both fields.
+func (s *Stack[T]) SaveState(e *Enc) {
+	e.Int(s.top)
+	e.Int(len(s.items))
+}
+
+// LoadState restores both fields.
+func (s *Stack[T]) LoadState(e *Enc) {
+	s.top = e.Next()
+	s.items = s.items[:e.Next()]
+}
+
+// Map is a generic function taking a function value: the graph must connect
+// its dynamic call to the literal UseMap passes.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// UseMap instantiates Map with a literal.
+func UseMap() []int {
+	return Map([]int{1, 2}, func(v int) int { return v * 2 })
+}

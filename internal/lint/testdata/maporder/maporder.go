@@ -1,0 +1,117 @@
+// Package maporder is the oltpvet fixture for the map-order analyzer: map
+// ranges that leak iteration order into output fire, the laundering idioms
+// (collect-then-sort, commutative folds) stay quiet, and functions outside
+// the sink-flow scope are never inspected at all.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// report prints per-key values straight out of the range: the canonical
+// nondeterminism leak.
+func report(m map[string]int) {
+	for k, v := range m { // want "range over map m in a function whose results flow to stats, output, or serialization"
+		fmt.Println(k, v)
+	}
+	fmt.Println(filter(m))
+}
+
+// reportSorted launders the order through the collect-then-sort idiom.
+func reportSorted(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// total folds commutatively: integer += cannot observe the order.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	fmt.Println(sum)
+	return sum
+}
+
+// filter copies entries into another map keyed by the unique loop key,
+// behind a call-free guard: still order-independent, still quiet. It is in
+// scope because report (a sink feeder) calls it.
+func filter(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// leak never touches fmt itself, but printAll does and calls it, so its
+// unsorted keys flow to output: the call-graph scoping must catch it.
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map m"
+		out = append(out, k)
+	}
+	return out
+}
+
+func printAll(m map[string]int) {
+	for _, k := range leak(m) {
+		fmt.Println(k)
+	}
+}
+
+// pure reaches no sink and no sink feeder calls it: out of scope, so even
+// its order-sensitive range is legal.
+func pure(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// Enc is a stand-in encoder for the snapshot-pair sink case.
+type Enc struct {
+	keys []string
+	vals []uint64
+}
+
+// Put records one entry.
+func (e *Enc) Put(k string, v uint64) {
+	e.keys = append(e.keys, k)
+	e.vals = append(e.vals, v)
+}
+
+// Get replays one value.
+func (e *Enc) Get() uint64 { return e.vals[0] }
+
+// Table's save half ranges its map directly: snapshot pair methods are
+// sinks through the snapshotcomplete fact, with no fmt anywhere near.
+type Table struct {
+	counts map[string]uint64
+}
+
+// Bump mutates the map.
+func (t *Table) Bump(k string) { t.counts[k]++ }
+
+// SaveState serializes in map order: a snapshot that differs run to run.
+func (t *Table) SaveState(e *Enc) {
+	for k, v := range t.counts { // want "range over map t.counts"
+		e.Put(k, v)
+	}
+}
+
+// LoadState restores the map.
+func (t *Table) LoadState(e *Enc) {
+	t.counts = make(map[string]uint64)
+	t.counts[""] = e.Get()
+}

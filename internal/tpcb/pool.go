@@ -26,7 +26,9 @@ type BufferPool struct {
 	code *ServerCode
 	lt   *LatchTable
 
-	frames       []frame
+	frames []frame
+	// blockToFrame is the hash index over frames.
+	//oltpvet:derived not saved: LoadState rebuilds the index from each decoded frame's block assignment
 	blockToFrame map[int32]int32
 	free         []int32
 	clock        uint64
@@ -235,28 +237,25 @@ func (p *BufferPool) DirtyBacklog() int { return len(p.dirtyQueue) }
 
 // CheckConsistency verifies the pool's structural invariants: the
 // block-to-frame map is a bijection onto occupied frames, and no free frame
-// claims a block.
+// claims a block. It iterates the frames slice, not the map, so the error
+// it returns (part of restore failures surfaced to output) is deterministic;
+// the counting argument at the end makes the frame walk equivalent to a map
+// walk: every occupied frame must have a matching map entry, and a map with
+// no extra entries (same cardinality, keys unique) can contain nothing else.
 func (p *BufferPool) CheckConsistency() error {
-	seen := make(map[int32]bool, len(p.blockToFrame))
-	for b, f := range p.blockToFrame {
-		if f < 0 || int(f) >= len(p.frames) {
-			return fmt.Errorf("tpcb: block %d maps to out-of-range frame %d", b, f)
-		}
-		if p.frames[f].block != b {
-			return fmt.Errorf("tpcb: block %d maps to frame %d holding block %d", b, f, p.frames[f].block)
-		}
-		if seen[f] {
-			return fmt.Errorf("tpcb: frame %d mapped twice", f)
-		}
-		seen[f] = true
-	}
 	occupied := 0
 	for i := range p.frames {
-		if p.frames[i].block >= 0 {
-			occupied++
-			if !seen[int32(i)] {
-				return fmt.Errorf("tpcb: frame %d holds block %d without a map entry", i, p.frames[i].block)
-			}
+		b := p.frames[i].block
+		if b < 0 {
+			continue
+		}
+		occupied++
+		f, ok := p.blockToFrame[b]
+		if !ok {
+			return fmt.Errorf("tpcb: frame %d holds block %d without a map entry", i, b)
+		}
+		if f != int32(i) {
+			return fmt.Errorf("tpcb: frame %d holds block %d but the map sends it to frame %d", i, b, f)
 		}
 	}
 	if occupied != len(p.blockToFrame) {
