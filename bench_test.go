@@ -1,8 +1,12 @@
 package oltpsim
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"oltpsim/internal/cache"
 	"oltpsim/internal/coherence"
@@ -11,6 +15,7 @@ import (
 	"oltpsim/internal/lint"
 	"oltpsim/internal/memref"
 	"oltpsim/internal/oltp"
+	"oltpsim/internal/server"
 	"oltpsim/internal/sim"
 	"oltpsim/internal/tpcb"
 )
@@ -522,6 +527,63 @@ func BenchmarkStep64Serial(b *testing.B) { benchStepWorkers(b, 1) }
 // BenchmarkStep64Sharded runs the same 64-node configuration with four
 // epoch-shard workers.
 func BenchmarkStep64Sharded(b *testing.B) { benchStepWorkers(b, 4) }
+
+// BenchmarkJobThroughput measures one job's end-to-end trip through the
+// simulation service: HTTP submission, queue admission, worker execution of
+// a quick single-machine run, and the SSE stream closing on completion.
+// The simulation itself is the same work the runner benchmarks time, so
+// this number is the service-layer overhead on top of it; cmd/benchdiff
+// guards it like the rest.
+func BenchmarkJobThroughput(b *testing.B) {
+	srv, err := server.New(server.Config{
+		DataDir:    b.TempDir(),
+		Workers:    1,
+		QueueDepth: 4,
+		Now:        time.Now,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+	const spec = `{
+		"name": "bench",
+		"machines": [{"procs": 1, "level": "base", "l2": "1M", "assoc": 1}],
+		"warmup_txns": 30,
+		"measure_txns": 60,
+		"quick": true,
+		"checkpoint_every": 0
+	}`
+	oneJob := func() {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", "/jobs", strings.NewReader(spec)))
+		if rec.Code != 202 {
+			b.Fatalf("POST /jobs: status %d: %s", rec.Code, rec.Body)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			b.Fatal(err)
+		}
+		// The SSE handler returns only once the job reaches a terminal
+		// state, so the stream doubles as the completion barrier.
+		stream := httptest.NewRecorder()
+		srv.ServeHTTP(stream, httptest.NewRequest("GET", "/jobs/"+st.ID+"/stream", nil))
+		if !strings.Contains(stream.Body.String(), "event: done") {
+			b.Fatalf("job %s did not finish: %s", st.ID, stream.Body)
+		}
+	}
+	// One unmeasured job first: process-wide lazy initialization (JSON
+	// reflection caches, HTTP routing tables) otherwise lands on the first
+	// measured iteration and makes allocs/op noisy at -benchtime 1x.
+	oneJob()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oneJob()
+	}
+}
 
 // BenchmarkOltpvet times the full static-analysis suite over the whole
 // module: load and type-check every package from source, build the

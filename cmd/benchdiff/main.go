@@ -16,22 +16,33 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchdiff -write            # record baseline BENCH_pr6.json
+//	go run ./cmd/benchdiff -write            # record baseline BENCH_pr8.json
 //	go run ./cmd/benchdiff -check            # fail on time or alloc regression
 //	go run ./cmd/benchdiff -check -allocs-only
 //	go run ./cmd/benchdiff -check -threshold 25
+//
+// A full sweep takes minutes, so SIGINT/SIGTERM are honored between and
+// during benchmark groups: the in-flight `go test` is killed, and -check
+// compares whatever completed before the interrupt (exit 130 if that
+// partial slice is clean, 1 if it already shows a regression). A CI
+// timeout therefore still reports which benchmarks passed instead of
+// discarding the whole run. -write never records a partial baseline.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 )
 
 // Baseline is the committed benchmark record.
@@ -57,7 +68,7 @@ func main() {
 	var (
 		write      = flag.Bool("write", false, "record the baseline instead of checking against it")
 		check      = flag.Bool("check", false, "compare against the committed baseline")
-		baseline   = flag.String("baseline", "BENCH_pr6.json", "baseline file path")
+		baseline   = flag.String("baseline", "BENCH_pr8.json", "baseline file path")
 		count      = flag.Int("count", 3, "repetitions; the minimum per benchmark is used")
 		short      = flag.Bool("short", true, "run benchmarks in -short mode")
 		threshold  = flag.Float64("threshold", 10, "allowed ns/op regression in percent")
@@ -81,10 +92,7 @@ func main() {
 	// slowdown at large N shows up as a plain time regression at that N.
 	// Oltpvet re-analyzes the whole module per iteration (seconds of
 	// type-checking), so like the runner benchmarks it runs at 1x.
-	specs := []struct {
-		pattern   string
-		benchtime string
-	}{
+	specs := []benchSpec{
 		{"^BenchmarkRunnerSerial$", "1x"},
 		{"^BenchmarkRunnerColdRepeat$", "1x"},
 		{"^BenchmarkRunnerWarmReuse$", "1x"},
@@ -92,25 +100,25 @@ func main() {
 		{"^BenchmarkStepScaling$", "1000000x"},
 		{"^BenchmarkStep64Serial$", "1x"},
 		{"^BenchmarkStep64Sharded$", "1x"},
+		{"^BenchmarkJobThroughput$", "1x"},
 		{"^BenchmarkOltpvet$", "1x"},
 	}
-	got := make(map[string]Benchmark)
-	for _, spec := range specs {
-		part, err := runBenchmarks(spec.pattern, spec.benchtime, *count, *short)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-			os.Exit(1)
-		}
-		if len(part) == 0 {
-			fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks matched %q\n", spec.pattern)
-			os.Exit(1)
-		}
-		for name, b := range part {
-			got[name] = b
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	got, err := collect(ctx, specs, func(ctx context.Context, spec benchSpec) (map[string]Benchmark, error) {
+		return runBenchmarks(ctx, spec.pattern, spec.benchtime, *count, *short)
+	})
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
 	}
 
 	if *write {
+		if interrupted {
+			fmt.Fprintln(os.Stderr, "benchdiff: interrupted; refusing to write a partial baseline")
+			os.Exit(130)
+		}
 		b := Baseline{
 			Note:  "minimum of -count runs of `go test -bench -benchmem`; regenerate with: go run ./cmd/benchdiff -write",
 			Short: *short,
@@ -147,15 +155,79 @@ func main() {
 		os.Exit(2)
 	}
 
-	lines, failed := compare(base.Benchmarks, got, *threshold, *allocTol, *allocsOnly)
+	// On interrupt, compare only the baseline entries that finished before
+	// the signal — a benchmark the interrupt skipped is not "missing".
+	guarded := base.Benchmarks
+	if interrupted {
+		guarded = collected(base.Benchmarks, got)
+	}
+	lines, failed := compare(guarded, got, *threshold, *allocTol, *allocsOnly)
 	for _, line := range lines {
 		fmt.Println(line)
+	}
+	if interrupted {
+		fmt.Printf("benchdiff: interrupted; compared %d of %d baseline benchmarks\n",
+			len(guarded), len(base.Benchmarks))
 	}
 	if failed {
 		fmt.Println("benchdiff: regression detected")
 		os.Exit(1)
 	}
+	if interrupted {
+		os.Exit(130)
+	}
 	fmt.Println("benchdiff: within tolerance")
+}
+
+// benchSpec names one benchmark group and its iteration budget.
+type benchSpec struct {
+	pattern   string
+	benchtime string
+}
+
+// collect runs every benchmark group in order and merges the observations.
+// If ctx is canceled mid-sweep — a developer's ^C or a CI timeout killing
+// the in-flight `go test` — it returns everything gathered so far together
+// with the context error, so the caller can still report a partial
+// comparison instead of discarding minutes of completed work. runOne is
+// injected so tests can exercise the interrupt paths without running real
+// benchmarks.
+func collect(ctx context.Context, specs []benchSpec, runOne func(context.Context, benchSpec) (map[string]Benchmark, error)) (map[string]Benchmark, error) {
+	got := make(map[string]Benchmark)
+	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return got, err
+		}
+		part, err := runOne(ctx, spec)
+		if err != nil {
+			// A group killed by the signal reports the kill, not the
+			// cancellation; surface the context error so the caller can
+			// tell an interrupt from a genuinely broken benchmark.
+			if cerr := ctx.Err(); cerr != nil {
+				return got, cerr
+			}
+			return got, err
+		}
+		if len(part) == 0 {
+			return got, fmt.Errorf("no benchmarks matched %q", spec.pattern)
+		}
+		for name, b := range part {
+			got[name] = b
+		}
+	}
+	return got, nil
+}
+
+// collected filters the baseline to the entries observed this run,
+// preserving baseline order.
+func collected(base []Benchmark, got map[string]Benchmark) []Benchmark {
+	var have []Benchmark
+	for _, b := range base {
+		if _, ok := got[b.Name]; ok {
+			have = append(have, b)
+		}
+	}
+	return have
 }
 
 // compare checks fresh observations against the baseline benchmarks,
@@ -190,14 +262,16 @@ func compare(base []Benchmark, got map[string]Benchmark, threshold, allocTol flo
 }
 
 // runBenchmarks shells out to `go test` and returns the best observation per
-// benchmark (name with the -GOMAXPROCS suffix stripped).
-func runBenchmarks(pattern, benchtime string, count int, short bool) (map[string]Benchmark, error) {
+// benchmark (name with the -GOMAXPROCS suffix stripped). The context kills
+// the child process on cancellation, so an interrupted sweep stops promptly
+// instead of finishing a minutes-long benchmark nobody will read.
+func runBenchmarks(ctx context.Context, pattern, benchtime string, count int, short bool) (map[string]Benchmark, error) {
 	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
 		"-benchtime", benchtime, "-count", strconv.Itoa(count), "."}
 	if short {
 		args = append(args, "-short")
 	}
-	cmd := exec.Command("go", args...)
+	cmd := exec.CommandContext(ctx, "go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -54,6 +57,124 @@ func TestCompare(t *testing.T) {
 				t.Fatalf("line %q does not contain %q", lines[0], tc.wantLine)
 			}
 		})
+	}
+}
+
+// fakeRunner returns a runOne stub whose group names derive from the spec
+// pattern, recording how many groups actually ran.
+func fakeRunner(calls *int) func(context.Context, benchSpec) (map[string]Benchmark, error) {
+	return func(_ context.Context, spec benchSpec) (map[string]Benchmark, error) {
+		*calls++
+		name := "Benchmark" + strings.Trim(spec.pattern, "^$")
+		return map[string]Benchmark{name: {Name: name, NsPerOp: float64(*calls)}}, nil
+	}
+}
+
+// TestCollectComplete: with an untouched context, collect merges every
+// group's observations.
+func TestCollectComplete(t *testing.T) {
+	specs := []benchSpec{{"^A$", "1x"}, {"^B$", "1x"}, {"^C$", "1x"}}
+	calls := 0
+	got, err := collect(context.Background(), specs, fakeRunner(&calls))
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if calls != 3 || len(got) != 3 {
+		t.Fatalf("calls=%d len(got)=%d, want 3 and 3", calls, len(got))
+	}
+	for _, name := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+}
+
+// TestCollectInterrupted pins the partial-output contract: a signal that
+// kills the in-flight benchmark group yields the groups that finished
+// before it, the context error (not the kill error), and no further runs.
+func TestCollectInterrupted(t *testing.T) {
+	specs := []benchSpec{{"^A$", "1x"}, {"^B$", "1x"}, {"^C$", "1x"}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	got, err := collect(ctx, specs, func(_ context.Context, spec benchSpec) (map[string]Benchmark, error) {
+		calls++
+		if spec.pattern == "^B$" {
+			// The signal arrives while B runs: the context dies and the
+			// killed `go test` surfaces its own error.
+			cancel()
+			return nil, errors.New("go test -bench: signal: killed")
+		}
+		name := "Benchmark" + strings.Trim(spec.pattern, "^$")
+		return map[string]Benchmark{name: {Name: name, NsPerOp: 1}}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("collect = %v, want context.Canceled", err)
+	}
+	if calls != 2 {
+		t.Errorf("ran %d groups, want 2 (C must not run after the interrupt)", calls)
+	}
+	if len(got) != 1 {
+		t.Fatalf("partial results = %v, want BenchmarkA only", got)
+	}
+	if _, ok := got["BenchmarkA"]; !ok {
+		t.Errorf("completed group BenchmarkA missing from partial results")
+	}
+}
+
+// TestCollectPreCanceled: an already-dead context runs nothing.
+func TestCollectPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	got, err := collect(ctx, []benchSpec{{"^A$", "1x"}}, fakeRunner(&calls))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("collect = %v, want context.Canceled", err)
+	}
+	if calls != 0 || len(got) != 0 {
+		t.Errorf("calls=%d len(got)=%d, want 0 and 0", calls, len(got))
+	}
+}
+
+// TestCollectRunError: a genuine benchmark failure (context still alive)
+// propagates as-is, with the groups collected before it.
+func TestCollectRunError(t *testing.T) {
+	specs := []benchSpec{{"^A$", "1x"}, {"^B$", "1x"}}
+	broken := errors.New("compile error")
+	got, err := collect(context.Background(), specs, func(_ context.Context, spec benchSpec) (map[string]Benchmark, error) {
+		if spec.pattern == "^B$" {
+			return nil, broken
+		}
+		return map[string]Benchmark{"BenchmarkA": {Name: "BenchmarkA"}}, nil
+	})
+	if !errors.Is(err, broken) {
+		t.Fatalf("collect = %v, want the runner's own error", err)
+	}
+	if len(got) != 1 {
+		t.Errorf("partial results = %v, want BenchmarkA", got)
+	}
+}
+
+// TestCollectEmptyMatch: a pattern that matches nothing is an error naming
+// the pattern — a silently absent benchmark would make the baseline lie.
+func TestCollectEmptyMatch(t *testing.T) {
+	got, err := collect(context.Background(), []benchSpec{{"^Nope$", "1x"}},
+		func(context.Context, benchSpec) (map[string]Benchmark, error) {
+			return map[string]Benchmark{}, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "^Nope$") {
+		t.Fatalf("collect = (%v, %v), want error naming the pattern", got, err)
+	}
+}
+
+// TestCollected: the interrupted-comparison filter keeps baseline order and
+// drops only the entries the interrupt skipped.
+func TestCollected(t *testing.T) {
+	base := []Benchmark{{Name: "BenchmarkA"}, {Name: "BenchmarkB"}, {Name: "BenchmarkC"}}
+	got := map[string]Benchmark{"BenchmarkC": {}, "BenchmarkA": {}}
+	have := collected(base, got)
+	if fmt.Sprint(have) != fmt.Sprint([]Benchmark{{Name: "BenchmarkA"}, {Name: "BenchmarkC"}}) {
+		t.Errorf("collected = %v, want A then C in baseline order", have)
 	}
 }
 

@@ -1,0 +1,114 @@
+// Command oltpserver runs the simulation-as-a-service job server: a REST
+// API over internal/server that queues sweeps of machine configurations,
+// executes them on a worker pool with periodic checkpointing, streams
+// progress over SSE, and exposes Prometheus metrics.
+//
+//	oltpserver -addr 127.0.0.1:8080 -data-dir ./oltpserver-data
+//
+// The data directory is the server's memory: every job's spec, state,
+// results, and latest checkpoint live there, and a server restarted on the
+// same directory resumes interrupted jobs from their checkpoints with
+// results bit-identical to an uninterrupted run (see DESIGN.md §6).
+//
+// The listen address is printed to stdout once the socket is open (port 0
+// picks a free port), so scripts and the e2e test can scrape the actual
+// endpoint. SIGINT/SIGTERM drain gracefully: workers stop at the next
+// checkpoint boundary, in-flight jobs stay resumable, and the HTTP
+// listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oltpsim/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("oltpserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	dataDir := fs.String("data-dir", "oltpserver-data", "persistence root for job specs, states, results, and checkpoints")
+	workers := fs.Int("workers", 1, "job worker-pool size")
+	queue := fs.Int("queue", 16, "max jobs admitted but not yet finished (429 beyond)")
+	every := fs.Uint64("checkpoint-every", 500, "default checkpoint quantum in committed transactions for jobs that don't set checkpoint_every")
+	retryAfter := fs.Int("retry-after", 1, "Retry-After seconds advertised on 429 responses")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "oltpserver: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	srv, err := server.New(server.Config{
+		DataDir:           *dataDir,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CheckpointEvery:   *every,
+		RetryAfterSeconds: *retryAfter,
+		Now:               time.Now,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "oltpserver: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "oltpserver: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "oltpserver: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "oltpserver listening on %s\n", ln.Addr())
+	srv.Start()
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stderr, "oltpserver: signal received, draining (jobs stay resumable)")
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "oltpserver: serve: %v\n", err)
+		srv.Close()
+		return 1
+	}
+
+	// Stop the workers first (jobs preempt at their next checkpoint
+	// boundary and live SSE streams end), then drain the HTTP side.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(stderr, "oltpserver: close: %v\n", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		hs.Close()
+		fmt.Fprintf(stderr, "oltpserver: shutdown: %v\n", err)
+		return 1
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "oltpserver: serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "oltpserver: drained")
+	return 0
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"oltpsim/internal/experiments"
+	"oltpsim/internal/stats"
+)
+
+// jobStatus mirrors the server's status JSON from outside the package, the
+// way a real client sees it.
+type jobStatus struct {
+	ID          string            `json:"id"`
+	State       string            `json:"state"`
+	Error       string            `json:"error"`
+	Done        int               `json:"configs_done"`
+	Checkpoints int               `json:"checkpoints"`
+	Results     []stats.RunResult `json:"results"`
+}
+
+// ladderSpec is the paper's Figure 10 (8p) sweep — Base vs. successive
+// integration at 8 nodes — under the committed figures' protocol
+// (DefaultOptions: warmup 3000, measure 2000, seed 0).
+const ladderSpec = `{
+	"name": "fig10-8p",
+	"machines": [
+		{"label": "Base", "procs": 8, "level": "base", "l2": "8M", "assoc": 1},
+		{"label": "L2", "procs": 8, "level": "l2", "l2": "2M", "assoc": 8},
+		{"label": "L2+MC", "procs": 8, "level": "l2mc", "l2": "2M", "assoc": 8},
+		{"label": "All", "procs": 8, "level": "full", "l2": "2M", "assoc": 8}
+	],
+	"warmup_txns": 3000,
+	"measure_txns": 2000
+}`
+
+// TestOLTPServerE2E is the CI smoke test for the whole service: build the
+// real binary, boot it on a free port, submit the 8-node Base-vs-ladder
+// sweep over HTTP, and require the rendered figure to appear verbatim in
+// the committed figures_output.txt — the service path and the direct
+// figure-generation path must be the same simulation. Then SIGINT must
+// drain cleanly.
+func TestOLTPServerE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the real server binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "oltpserver")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building oltpserver: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", t.TempDir(),
+		"-workers", "1",
+		"-checkpoint-every", "500",
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := false
+	defer func() {
+		if !exited {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// The server prints its actual address once the socket is open.
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		t.Fatal("server exited before printing its address")
+	}
+	line := scanner.Text()
+	addr, ok := strings.CutPrefix(line, "oltpserver listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(ladderSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", resp.StatusCode)
+	}
+
+	// Poll to completion. The sweep takes a few seconds; the deadline is
+	// generous for slow CI machines.
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q (%d/4 configs) at deadline", st.State, st.Done)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("job finished %q: %s", st.State, st.Error)
+	}
+	if len(st.Results) != 4 {
+		t.Fatalf("job returned %d results, want 4", len(st.Results))
+	}
+	if st.Checkpoints == 0 {
+		t.Error("job reported zero checkpoints despite a 500-txn quantum")
+	}
+
+	// The figure rendered from the service's results must appear verbatim
+	// in the committed figures output: same simulation, same bytes.
+	fig := experiments.Figure{
+		ID:    "Figure 10 (8p)",
+		Title: "Successive integration, 8 processors",
+		Bars:  st.Results,
+	}
+	committed, err := os.ReadFile(filepath.Join("..", "..", "figures_output.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, block := range []struct{ name, text string }{
+		{"exec", fig.RenderExec()},
+		{"detail", fig.RenderDetail()},
+	} {
+		if !strings.Contains(string(committed), block.text) {
+			t.Errorf("%s block rendered from server results is not in figures_output.txt:\n%s", block.name, block.text)
+		}
+	}
+
+	// Prometheus sees the completed job.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := new(strings.Builder)
+	if _, err := fmt.Fprint(metrics, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"oltpserver_jobs_completed_total 1",
+		`oltpserver_jobs{state="done"} 1`,
+		"oltpserver_checkpoints_written_total",
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful drain on SIGINT.
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("server exited non-zero after SIGINT: %v", err)
+	}
+	exited = true
+}
+
+// readAll drains a response body as a string.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		b.WriteString(scanner.Text())
+		b.WriteByte('\n')
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

@@ -11,7 +11,6 @@
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +18,6 @@ import (
 	"oltpsim/internal/cli"
 	"oltpsim/internal/core"
 	"oltpsim/internal/experiments"
-	"oltpsim/internal/oltp"
 	"oltpsim/internal/stats"
 )
 
@@ -30,7 +28,7 @@ func main() {
 		measure    = flag.Uint64("txns", 2000, "measured transactions")
 		quick      = flag.Bool("quick", false, "scaled-down database for fast runs")
 		checkpoint = flag.String("checkpoint", "", "write a machine-state checkpoint to this file (at end of warmup, and during measurement with -checkpoint-every)")
-		ckptEvery  = flag.Uint64("checkpoint-every", 0, "with -checkpoint, rewrite the checkpoint every N committed transactions during measurement")
+		ckptEvery  = flag.Uint64("checkpoint-every", 0, "with -checkpoint, rewrite the checkpoint every N committed transactions (during warmup and measurement)")
 		resume     = flag.String("resume", "", "resume from a checkpoint file written with the same configuration flags")
 		stepJobs   = flag.Int("step-j", 0, "epoch-sharded stepping workers inside the simulation (0 or 1 = serial; results stay bit-identical)")
 	)
@@ -84,63 +82,28 @@ func main() {
 }
 
 // runCheckpointed executes the warmup/measure protocol with checkpoint
-// and/or resume. The step sequence is identical to experiments.Options.Run
-// (checkpoint writes are read-only), so a resumed run's output is
-// bit-identical to an uninterrupted one.
+// and/or resume through experiments.RunCheckpointed (shared with the
+// oltpserver job executor). The step sequence is identical to
+// experiments.Options.Run (checkpoint writes are read-only), so a resumed
+// run's output is bit-identical to an uninterrupted one.
 func runCheckpointed(opt experiments.Options, cfg core.Config, resumePath, checkpointPath string, every uint64) (stats.RunResult, error) {
-	h := oltp.MustNewHarness(opt.Params(cfg))
-	sys := core.MustNewSystem(cfg, h)
-	sys.SetStepWorkers(opt.StepWorkers)
-	var measureBase uint64
+	var cr experiments.CheckpointRun
 	if resumePath != "" {
 		data, err := os.ReadFile(resumePath)
 		if err != nil {
 			return stats.RunResult{}, err
 		}
-		phase, base, err := experiments.LoadCheckpoint(bytes.NewReader(data), sys)
-		if err != nil {
-			return stats.RunResult{}, fmt.Errorf("resume %s: %w", resumePath, err)
-		}
-		if phase == experiments.CheckpointWarmed {
-			measureBase = h.Committed()
-			sys.ResetStats()
-		} else {
-			measureBase = base
-		}
-	} else {
-		sys.RunUntil(opt.WarmupTxns)
-		if checkpointPath != "" {
-			if err := writeCheckpoint(checkpointPath, sys, experiments.CheckpointWarmed, 0); err != nil {
-				return stats.RunResult{}, err
-			}
-		}
-		measureBase = h.Committed()
-		sys.ResetStats()
+		cr.Resume = data
 	}
-	target := measureBase + opt.MeasureTxns
-	if checkpointPath != "" && every > 0 {
-		for h.Committed() < target {
-			next := h.Committed() + every
-			if next > target {
-				next = target
-			}
-			sys.RunUntil(next)
-			if err := writeCheckpoint(checkpointPath, sys, experiments.CheckpointMeasuring, measureBase); err != nil {
-				return stats.RunResult{}, err
-			}
+	if checkpointPath != "" {
+		cr.Every = every
+		cr.Write = func(data []byte) error {
+			return os.WriteFile(checkpointPath, data, 0o644)
 		}
-	} else {
-		sys.RunUntil(target)
 	}
-	res := sys.Collect(cfg.Name, h.Committed()-measureBase)
-	res.Name = cfg.Name
-	return res, nil
-}
-
-func writeCheckpoint(path string, sys *core.System, phase uint8, measureBase uint64) error {
-	var buf bytes.Buffer
-	if err := experiments.SaveCheckpoint(&buf, sys, phase, measureBase); err != nil {
-		return err
+	res, _, err := opt.RunCheckpointed(cfg, cr)
+	if err != nil && resumePath != "" {
+		err = fmt.Errorf("resume %s: %w", resumePath, err)
 	}
-	return os.WriteFile(path, buf.Bytes(), 0o644)
+	return res, err
 }

@@ -5,14 +5,23 @@
 // paper's characteristics.
 //
 //	tracedump -cpus 2 -n 2000 -skip 100000 > trace.csv
+//
+// Large windows with a deep -skip can run for minutes, so SIGINT/SIGTERM
+// are honored inside the dump loop: the rows emitted so far are flushed as
+// a well-formed CSV prefix and the tool exits 130. A CI timeout therefore
+// leaves a usable partial trace instead of an empty file.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"oltpsim/internal/kernel"
 	"oltpsim/internal/oltp"
@@ -34,12 +43,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	if err := run(w, *cpus, *cpu, *n, *skip, *quick); err != nil {
+	if err := run(ctx, w, *cpus, *cpu, *n, *skip, *quick); err != nil {
+		w.Flush()
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tracedump: interrupted; partial dump flushed")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "tracedump:", err)
 		os.Exit(2)
 	}
+	w.Flush()
 }
 
 // validate rejects flag combinations the dump loop would misinterpret.
@@ -62,7 +78,9 @@ func validate(cpus, cpu, n, skip int) error {
 // run drives a fresh harness and writes n references of the chosen CPU's
 // stream as CSV. The output is a pure function of the arguments: the harness
 // is seeded deterministically and CPUs advance in global time order.
-func run(out io.Writer, cpus, cpu, n, skip int, quick bool) error {
+// Cancelling ctx stops the loop between references and returns ctx's error;
+// everything already written is a valid CSV prefix of the full dump.
+func run(ctx context.Context, out io.Writer, cpus, cpu, n, skip int, quick bool) error {
 	p := oltp.DefaultParams(cpus)
 	if quick {
 		p = oltp.TestParams(cpus)
@@ -77,6 +95,9 @@ func run(out io.Writer, cpus, cpu, n, skip int, quick bool) error {
 	clocks := make([]uint64, cpus)
 	emitted, seen := 0, 0
 	for emitted < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Drive every CPU in global time order (commits depend on the log
 		// writer's progress).
 		c := 0

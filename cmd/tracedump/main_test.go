@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,7 +51,7 @@ func TestValidate(t *testing.T) {
 //	go test ./cmd/tracedump -run TestRunGolden -update
 func TestRunGolden(t *testing.T) {
 	var got bytes.Buffer
-	if err := run(&got, 2, 0, 25, 10, true); err != nil {
+	if err := run(context.Background(), &got, 2, 0, 25, 10, true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 
@@ -82,7 +85,7 @@ func TestRunGolden(t *testing.T) {
 
 	// Determinism: a second fresh harness emits the identical window.
 	var again bytes.Buffer
-	if err := run(&again, 2, 0, 25, 10, true); err != nil {
+	if err := run(context.Background(), &again, 2, 0, 25, 10, true); err != nil {
 		t.Fatalf("second run: %v", err)
 	}
 	if !bytes.Equal(got.Bytes(), again.Bytes()) {
@@ -90,14 +93,75 @@ func TestRunGolden(t *testing.T) {
 	}
 }
 
+// cancelingWriter cancels a context once a set number of Write calls have
+// gone through, simulating a signal arriving mid-dump: run writes one line
+// per call, so the cutoff lands between CSV rows.
+type cancelingWriter struct {
+	w      io.Writer
+	cancel context.CancelFunc
+	left   int
+}
+
+func (c *cancelingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.left--
+	if c.left == 0 {
+		c.cancel()
+	}
+	return n, err
+}
+
+// TestRunPreCanceled: a context canceled before the loop starts yields the
+// header and nothing else — the minimal well-formed partial CSV.
+func TestRunPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var got bytes.Buffer
+	err := run(ctx, &got, 1, 0, 30, 0, true)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run = %v, want context.Canceled", err)
+	}
+	if got.String() != "seq,cpu,kind,addr,line,home,kernel,dep,instrs\n" {
+		t.Errorf("pre-canceled run emitted %q, want header only", got.String())
+	}
+}
+
+// TestRunInterruptMidStream: cancellation mid-dump stops the loop with the
+// context error, and the truncated output is byte-for-byte a prefix of the
+// uninterrupted dump — partial, but never torn or divergent.
+func TestRunInterruptMidStream(t *testing.T) {
+	var full bytes.Buffer
+	if err := run(context.Background(), &full, 1, 0, 30, 0, true); err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var partial bytes.Buffer
+	// 11 writes = header + 10 rows; the loop notices the cancellation on
+	// its next iteration, so exactly 10 rows land.
+	cw := &cancelingWriter{w: &partial, cancel: cancel, left: 11}
+	err := run(ctx, cw, 1, 0, 30, 0, true)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run = %v, want context.Canceled", err)
+	}
+	lines := strings.Split(strings.TrimRight(partial.String(), "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("interrupted dump has %d lines, want header + 10 rows", len(lines))
+	}
+	if !strings.HasPrefix(full.String(), partial.String()) {
+		t.Errorf("interrupted dump is not a prefix of the full dump:\n%s", partial.String())
+	}
+}
+
 // TestRunSkipWindow: the skip offset selects a strictly later window of the
 // same stream — sequence numbers continue where the unskipped dump left off.
 func TestRunSkipWindow(t *testing.T) {
 	var all, windowed bytes.Buffer
-	if err := run(&all, 1, 0, 30, 0, true); err != nil {
+	if err := run(context.Background(), &all, 1, 0, 30, 0, true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run(&windowed, 1, 0, 10, 20, true); err != nil {
+	if err := run(context.Background(), &windowed, 1, 0, 10, 20, true); err != nil {
 		t.Fatalf("windowed run: %v", err)
 	}
 	allLines := strings.Split(strings.TrimRight(all.String(), "\n"), "\n")

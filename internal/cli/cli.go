@@ -28,17 +28,22 @@ func ParseSize(s string) (int64, error) {
 	return int64(v * float64(mult)), nil
 }
 
-// MachineSpec is the command-line description of a machine.
+// MachineSpec is the command-line description of a machine. The JSON tags
+// are the oltpserver job-spec wire format, so a sweep submitted over HTTP
+// resolves through exactly the same Build path as the CLI flags.
 type MachineSpec struct {
-	Procs   int
-	Level   string // cons|base|l2|l2mc|full
-	L2      string // e.g. "8M"
-	Assoc   int
-	DRAM    bool
-	OOO     bool
-	RACSize string // empty = no RAC
-	Repl    bool
-	Cores   int // cores per chip; 0/1 = paper configuration
+	Procs   int    `json:"procs"`
+	Level   string `json:"level"` // cons|base|l2|l2mc|full
+	L2      string `json:"l2"`    // e.g. "8M"
+	Assoc   int    `json:"assoc"`
+	DRAM    bool   `json:"dram,omitempty"`
+	OOO     bool   `json:"ooo,omitempty"`
+	RACSize string `json:"rac,omitempty"` // empty = no RAC
+	Repl    bool   `json:"repl,omitempty"`
+	Cores   int    `json:"cores,omitempty"` // cores per chip; 0/1 = paper configuration
+	// Name, when non-empty, overrides the derived configuration name (the
+	// bar label in rendered figures).
+	Name string `json:"label,omitempty"`
 }
 
 // Build resolves a MachineSpec into a core.Config.
@@ -80,6 +85,9 @@ func Build(spec MachineSpec) (core.Config, error) {
 	}
 	cfg.CodeReplication = spec.Repl
 	cfg.CoresPerChip = spec.Cores
+	if spec.Name != "" {
+		cfg.Name = spec.Name
+	}
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, err
 	}

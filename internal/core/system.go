@@ -342,6 +342,16 @@ func (s *System) Latency() LatencyTable { return s.lat }
 // Chips returns the chip count (== Processors unless CoresPerChip > 1).
 func (s *System) Chips() int { return s.chips }
 
+// Committed returns the workload's committed-transaction count — the
+// protocol position the warmup/measure boundaries and the checkpoint
+// quanta are defined in.
+func (s *System) Committed() uint64 { return s.w.Committed() }
+
+// Steps returns the total simulator steps executed by this System. The
+// counter rides in the snapshot, so a run resumed from a checkpoint
+// continues the count of the run that wrote it.
+func (s *System) Steps() uint64 { return s.steps }
+
 // Step advances the earliest CPU by one reference. It returns false when
 // every CPU's workload is exhausted.
 func (s *System) Step() bool {

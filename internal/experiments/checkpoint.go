@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 
 	"oltpsim/internal/core"
 	"oltpsim/internal/snapshot"
+	"oltpsim/internal/stats"
 )
 
 // Checkpoint phases record where in the warmup/measure protocol a snapshot
@@ -19,13 +21,17 @@ const (
 	// CheckpointMeasuring marks a mid-measurement checkpoint: statistics are
 	// already accumulating and resuming continues without a reset.
 	CheckpointMeasuring uint8 = 2
+	// CheckpointWarming marks a mid-warmup checkpoint: the run has not
+	// reached Options.WarmupTxns yet, and resuming (under identical options)
+	// finishes the warmup before the statistics reset.
+	CheckpointWarming uint8 = 3
 )
 
 // SaveCheckpoint writes the machine state plus the protocol position.
 // measureBase is the committed-transaction count at the statistics reset
 // (meaningful only for CheckpointMeasuring).
 func SaveCheckpoint(out io.Writer, sys *core.System, phase uint8, measureBase uint64) error {
-	if phase != CheckpointWarmed && phase != CheckpointMeasuring {
+	if !validPhase(phase) {
 		return fmt.Errorf("experiments: invalid checkpoint phase %d", phase)
 	}
 	var buf bytes.Buffer
@@ -57,7 +63,7 @@ func LoadCheckpoint(in io.Reader, sys *core.System) (phase uint8, measureBase ui
 	if err := d.Finish(); err != nil {
 		return 0, 0, err
 	}
-	if phase != CheckpointWarmed && phase != CheckpointMeasuring {
+	if !validPhase(phase) {
 		return 0, 0, fmt.Errorf("experiments: checkpoint has invalid phase %d", phase)
 	}
 	d, err = r.Section("system")
@@ -75,4 +81,143 @@ func LoadCheckpoint(in io.Reader, sys *core.System) (phase uint8, measureBase ui
 		return 0, 0, err
 	}
 	return phase, measureBase, nil
+}
+
+func validPhase(p uint8) bool {
+	return p == CheckpointWarmed || p == CheckpointMeasuring || p == CheckpointWarming
+}
+
+// ErrCanceled is returned by RunCheckpointed when CheckpointRun.Canceled
+// reported cancellation at a quantum boundary. The machine state behind the
+// most recent checkpoint write is intact, so a canceled run is resumable.
+var ErrCanceled = errors.New("experiments: run canceled")
+
+// CheckpointRun configures one checkpointed execution of the
+// warmup/measure protocol: how often to persist the machine state, where
+// the bytes go, what to resume from, and the cooperative hooks the job
+// server drives its progress stream and cancellation from.
+type CheckpointRun struct {
+	// Every is the checkpoint quantum in committed transactions. When > 0
+	// (and Write is set), the run persists a checkpoint after every Every
+	// commits during warmup and measurement; 0 writes only the single
+	// end-of-warmup checkpoint. The quantum never changes results: chunked
+	// RunUntil lands on the same commit boundaries as an uninterrupted run.
+	Every uint64
+	// Write persists one checkpoint container (the SaveCheckpoint format).
+	// Nil disables all checkpoint writes. Write must not retain the slice.
+	Write func(data []byte) error
+	// Resume, when non-nil, is a checkpoint container previously produced
+	// against the identical configuration and options; the run continues
+	// from it instead of starting cold.
+	Resume []byte
+	// Canceled, when non-nil, is polled before every protocol quantum; once
+	// it returns true the run stops and RunCheckpointed returns ErrCanceled.
+	// Polling happens at quantum boundaries only, so Every bounds the
+	// cancellation latency in committed transactions.
+	Canceled func() bool
+	// OnProgress, when non-nil, observes measurement progress: it is called
+	// with (0, target) at the statistics reset and (measured, target) after
+	// every measurement quantum. Calls are synchronous with the run.
+	OnProgress func(measured, target uint64)
+}
+
+// RunCheckpointed executes one configuration under the protocol with
+// periodic checkpointing, resume, and cooperative cancellation. It returns
+// the run result and the number of simulator steps executed in this
+// process (a resumed run counts only the steps after the restore).
+//
+// The step sequence is identical to Options.Run — checkpoint writes are
+// read-only and the chunked RunUntil loop stops on the same commit
+// boundaries — so for any interleaving of checkpoint, kill, and resume the
+// final RunResult is byte-identical to an uninterrupted run's
+// (TestRunCheckpointedMatchesRun, TestServerResumeEquivalence).
+// Options.WarmSnapshot is ignored here: warm-state reuse and per-job
+// checkpoint streams answer different questions about where machine state
+// comes from, and mixing them would make the resume story ambiguous.
+func (o Options) RunCheckpointed(cfg core.Config, cr CheckpointRun) (stats.RunResult, uint64, error) {
+	sys := o.build(cfg)
+	phase := CheckpointWarming
+	var measureBase, steps0 uint64
+	if cr.Resume != nil {
+		p, base, err := LoadCheckpoint(bytes.NewReader(cr.Resume), sys)
+		if err != nil {
+			return stats.RunResult{}, 0, fmt.Errorf("experiments: resuming checkpoint: %w", err)
+		}
+		phase = p
+		steps0 = sys.Steps()
+		if phase == CheckpointMeasuring {
+			measureBase = base
+		}
+	}
+	canceled := func() bool { return cr.Canceled != nil && cr.Canceled() }
+	executed := func() uint64 { return sys.Steps() - steps0 }
+	write := func(ph uint8, base uint64) error {
+		if cr.Write == nil {
+			return nil
+		}
+		var buf bytes.Buffer
+		if err := SaveCheckpoint(&buf, sys, ph, base); err != nil {
+			return err
+		}
+		return cr.Write(buf.Bytes())
+	}
+
+	// Warmup, chunked by the checkpoint quantum. The mid-warmup checkpoints
+	// carry CheckpointWarming so a resume knows warmup is still in flight.
+	if phase == CheckpointWarming {
+		for sys.Committed() < o.WarmupTxns {
+			if canceled() {
+				return stats.RunResult{}, executed(), ErrCanceled
+			}
+			next := o.WarmupTxns
+			if cr.Every > 0 && sys.Committed()+cr.Every < next {
+				next = sys.Committed() + cr.Every
+			}
+			sys.RunUntil(next)
+			if next < o.WarmupTxns && cr.Every > 0 {
+				if err := write(CheckpointWarming, 0); err != nil {
+					return stats.RunResult{}, executed(), fmt.Errorf("experiments: writing checkpoint: %w", err)
+				}
+			}
+		}
+		phase = CheckpointWarmed
+		if err := write(CheckpointWarmed, 0); err != nil {
+			return stats.RunResult{}, executed(), fmt.Errorf("experiments: writing checkpoint: %w", err)
+		}
+	}
+
+	// Statistics reset at the warmup/measure boundary. A resume from a
+	// CheckpointMeasuring container skips this: its statistics are already
+	// accumulating.
+	if phase == CheckpointWarmed {
+		measureBase = sys.Committed()
+		sys.ResetStats()
+		if cr.OnProgress != nil {
+			cr.OnProgress(0, o.MeasureTxns)
+		}
+	}
+
+	// Measurement, chunked by the checkpoint quantum.
+	target := measureBase + o.MeasureTxns
+	for sys.Committed() < target {
+		if canceled() {
+			return stats.RunResult{}, executed(), ErrCanceled
+		}
+		next := target
+		if cr.Every > 0 && sys.Committed()+cr.Every < next {
+			next = sys.Committed() + cr.Every
+		}
+		sys.RunUntil(next)
+		if cr.Every > 0 {
+			if err := write(CheckpointMeasuring, measureBase); err != nil {
+				return stats.RunResult{}, executed(), fmt.Errorf("experiments: writing checkpoint: %w", err)
+			}
+		}
+		if cr.OnProgress != nil {
+			cr.OnProgress(sys.Committed()-measureBase, o.MeasureTxns)
+		}
+	}
+	res := sys.Collect(cfg.Name, sys.Committed()-measureBase)
+	res.Name = cfg.Name
+	return res, executed(), nil
 }

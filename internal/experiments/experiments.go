@@ -46,6 +46,16 @@ type Options struct {
 	// the cache; nil (the default, used for all committed figures) keeps the
 	// traditional warm-every-run path.
 	WarmSnapshot *WarmCache
+	// Progress, when non-nil, is called by RunMany after each configuration
+	// of a sweep finishes, with the number of configurations completed so
+	// far and the sweep total. Calls are serialized (never concurrent),
+	// done is strictly increasing from 1 to total, and no call is made
+	// after RunMany returns — so a caller may drive an SSE stream or a
+	// progress bar from it without its own locking. The callback observes
+	// completion order, which under parallel Workers is not input order;
+	// results themselves are always delivered in input order regardless.
+	// Nil (the default) costs nothing.
+	Progress func(done, total int)
 	// Zeta shares the Zipf harmonic-sum constants across the harness
 	// constructions of a sweep. Every bar rebuilds its engine from the same
 	// sizing parameters, so without the cache each bar redoes an O(database

@@ -32,8 +32,25 @@ func (o Options) RunMany(cfgs []core.Config) []stats.RunResult {
 	if w <= 1 {
 		for i := range cfgs {
 			results[i] = o.Run(cfgs[i])
+			if o.Progress != nil {
+				o.Progress(i+1, len(cfgs))
+			}
 		}
 		return results
+	}
+	// progress serializes the Options.Progress callback across workers and
+	// turns completion events into the strictly increasing done count the
+	// callback contract promises.
+	var progressMu sync.Mutex
+	completed := 0
+	progress := func() {
+		if o.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		completed++
+		o.Progress(completed, len(cfgs))
+		progressMu.Unlock()
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -43,6 +60,7 @@ func (o Options) RunMany(cfgs []core.Config) []stats.RunResult {
 			defer wg.Done()
 			for i := range idx {
 				results[i] = o.Run(cfgs[i])
+				progress()
 			}
 		}()
 	}

@@ -16,13 +16,18 @@ import (
 //     serial-order prefix (see DESIGN.md, "Event-queue core");
 //   - internal/experiments/runner.go: the experiment worker pool, which
 //     parallelizes across independent System instances that share no
-//     mutable state.
+//     mutable state;
+//   - internal/server/queue.go: the job server's worker pool, which only
+//     decides which wall-clock moment a job runs at — each job's results
+//     remain a pure function of (config, seed), so scheduling cannot
+//     change output (pinned by the server lifecycle tests).
 //
 // A `go` statement anywhere else under internal/ is an unreviewed
 // concurrency seam and is reported.
 var ApprovedGoroutineFiles = []string{
 	"internal/core/shard.go",
 	"internal/experiments/runner.go",
+	"internal/server/queue.go",
 }
 
 // NewGoroutineDiscipline returns the goroutine-discipline analyzer: inside

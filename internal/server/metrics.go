@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders the Prometheus text exposition (version 0.0.4) by
+// hand — the package is stdlib-only. Series order is fixed: scalar
+// families in declaration order, per-state gauges in state-machine order,
+// per-job series in submission order. Two scrapes of the same server state
+// are byte-identical, which is what the golden metrics test pins.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, s.renderMetrics())
+}
+
+// metricStates fixes the exposition order of the per-state job gauge.
+var metricStates = []State{
+	StateQueued, StateRunning, StateCheckpointed,
+	StateDone, StateFailed, StateCancelled,
+}
+
+// renderMetrics builds the full exposition.
+func (s *Server) renderMetrics() string {
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	jobs := s.jobs
+	queueDepth := len(s.pending) + s.busy + s.reserved
+	capacity := s.cfg.QueueDepth
+	workers := s.cfg.Workers
+	busy := s.busy
+	counters := []struct {
+		name, help string
+		value      uint64
+	}{
+		{"oltpserver_jobs_accepted_total", "Jobs admitted to the queue.", s.jobsAccepted},
+		{"oltpserver_jobs_recovered_total", "Jobs recovered from the data directory at startup.", s.jobsRecovered},
+		{"oltpserver_jobs_resumed_total", "Configurations resumed from a recovered checkpoint.", s.jobsResumed},
+		{"oltpserver_jobs_completed_total", "Jobs that reached the done state.", s.jobsCompleted},
+		{"oltpserver_jobs_failed_total", "Jobs that reached the failed state.", s.jobsFailed},
+		{"oltpserver_jobs_cancelled_total", "Jobs that reached the cancelled state.", s.jobsCancelled},
+		{"oltpserver_jobs_rejected_total", "Submissions rejected because the queue was full.", s.jobsRejected},
+		{"oltpserver_checkpoints_written_total", "Checkpoints made durable across all jobs.", s.checkpointsWritten},
+	}
+	s.mu.Unlock()
+
+	var b strings.Builder
+	for _, c := range counters {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+
+	// Per-state gauge, computed from live job states in fixed state order.
+	byState := make(map[State]int)
+	for _, id := range order {
+		st := jobs[id].status()
+		byState[st.State]++
+	}
+	fmt.Fprint(&b, "# HELP oltpserver_jobs Jobs currently known, by lifecycle state.\n# TYPE oltpserver_jobs gauge\n")
+	for _, st := range metricStates {
+		fmt.Fprintf(&b, "oltpserver_jobs{state=%q} %d\n", st, byState[st])
+	}
+
+	fmt.Fprintf(&b, "# HELP oltpserver_queue_depth Jobs admitted but not yet terminal.\n# TYPE oltpserver_queue_depth gauge\noltpserver_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(&b, "# HELP oltpserver_queue_capacity Admission limit on concurrent jobs.\n# TYPE oltpserver_queue_capacity gauge\noltpserver_queue_capacity %d\n", capacity)
+	fmt.Fprintf(&b, "# HELP oltpserver_workers Configured worker-pool size.\n# TYPE oltpserver_workers gauge\noltpserver_workers %d\n", workers)
+	fmt.Fprintf(&b, "# HELP oltpserver_workers_busy Workers currently executing a job.\n# TYPE oltpserver_workers_busy gauge\noltpserver_workers_busy %d\n", busy)
+
+	// Per-job wall-clock cost per simulator reference (step), submission
+	// order. Only jobs that executed steps in this process have a value.
+	fmt.Fprint(&b, "# HELP oltpserver_job_ns_per_ref Wall-clock nanoseconds per simulator step, per job.\n# TYPE oltpserver_job_ns_per_ref gauge\n")
+	for _, id := range order {
+		steps, wall := jobs[id].workDone()
+		if steps == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "oltpserver_job_ns_per_ref{job=%q} %.3f\n", id, float64(wall.Nanoseconds())/float64(steps))
+	}
+	return b.String()
+}

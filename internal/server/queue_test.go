@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestQueueSaturation pins the backpressure contract: once queued plus
+// running jobs reach QueueDepth, submissions get 429 with the configured
+// Retry-After header, and capacity freed by finishing jobs is usable again.
+func TestQueueSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	gate := make(chan struct{})
+	var once sync.Once
+	cfg := testServerConfig(t.TempDir())
+	cfg.QueueDepth = 2
+	cfg.RetryAfterSeconds = 7
+	cfg.OnCheckpoint = func(string, int, int) { <-gate }
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer once.Do(func() { close(gate) })
+
+	// Fill the queue: one job on the (parked) worker, one waiting.
+	first := postJob(t, ts, smokeSpec())
+	second := postJob(t, ts, smokeSpec())
+
+	// The third submission must bounce with backpressure headers.
+	resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", strings.NewReader(smokeSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submission over capacity: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want %q", got, "7")
+	}
+
+	// A rejected submission leaves no trace: no job directory, no queue
+	// slot, just the rejection counter.
+	s.mu.Lock()
+	known, rejected := len(s.order), s.jobsRejected
+	s.mu.Unlock()
+	if known != 2 {
+		t.Errorf("server knows %d jobs after rejection, want 2", known)
+	}
+	if rejected != 1 {
+		t.Errorf("jobsRejected = %d, want 1", rejected)
+	}
+
+	// Draining the queue frees capacity for new submissions.
+	once.Do(func() { close(gate) })
+	for _, st := range []Status{first, second} {
+		if got := waitTerminal(t, s, st.ID); got != StateDone {
+			t.Fatalf("job %s finished %q", st.ID, got)
+		}
+	}
+	third := postJob(t, ts, smokeSpec())
+	if got := waitTerminal(t, s, third.ID); got != StateDone {
+		t.Fatalf("post-drain job finished %q", got)
+	}
+}
+
+// TestConcurrentSubmissions races many clients against one server (run
+// under -race in CI): every accepted job gets a unique ID, acceptances
+// plus rejections add up exactly, and the accepted count never exceeds
+// QueueDepth at admission time.
+func TestConcurrentSubmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	gate := make(chan struct{})
+	var once sync.Once
+	cfg := testServerConfig(t.TempDir())
+	cfg.QueueDepth = 4
+	cfg.OnCheckpoint = func(string, int, int) { <-gate }
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer once.Do(func() { close(gate) })
+
+	const clients = 16
+	type outcome struct {
+		status int
+		id     string
+	}
+	results := make(chan outcome, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", strings.NewReader(smokeSpec()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			o := outcome{status: resp.StatusCode}
+			if resp.StatusCode == http.StatusAccepted {
+				var st Status
+				if err := decodeBody(resp, &st); err != nil {
+					t.Error(err)
+					return
+				}
+				o.id = st.ID
+			}
+			results <- o
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	ids := make(map[string]bool)
+	accepted, rejected := 0, 0
+	for o := range results {
+		switch o.status {
+		case http.StatusAccepted:
+			accepted++
+			if ids[o.id] {
+				t.Errorf("duplicate job ID %s", o.id)
+			}
+			ids[o.id] = true
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Errorf("unexpected status %d", o.status)
+		}
+	}
+	if accepted+rejected != clients {
+		t.Fatalf("%d accepted + %d rejected != %d clients", accepted, rejected, clients)
+	}
+	// Exactly QueueDepth slots existed and no submission ran concurrently
+	// with a completion, so admission is exact, not approximate.
+	if accepted != cfg.QueueDepth {
+		t.Errorf("accepted %d jobs, want exactly QueueDepth=%d", accepted, cfg.QueueDepth)
+	}
+
+	once.Do(func() { close(gate) })
+	for id := range ids {
+		if got := waitTerminal(t, s, id); got != StateDone {
+			t.Errorf("job %s finished %q", id, got)
+		}
+	}
+}
+
+// decodeBody decodes a JSON response body.
+func decodeBody(resp *http.Response, v any) error {
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("decoding %s response: %w", resp.Request.URL.Path, err)
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// submitDirect hands a spec straight to the queue (the resume tests pin
+// executor and persistence behavior; the HTTP surface has its own suite).
+func submitDirect(t *testing.T, s *Server, body string) *Job {
+	t.Helper()
+	spec, cfgs, err := DecodeJobSpec(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.submit(spec, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestServerResumeEquivalence is the PR's headline acceptance test: for
+// several checkpoint quanta, a server killed mid-job (no goodbyes, no
+// final writes — the deterministic stand-in for SIGKILL) and restarted on
+// the same data directory finishes the job with a RunResult byte-identical
+// to an uninterrupted direct run. The kill lands at a different protocol
+// position per quantum — mid-warmup, at the phase boundary, and
+// mid-measurement — so every resume path through the executor is covered.
+func TestServerResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	_, cfgs, err := DecodeJobSpec(strings.NewReader(smokeSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, smokeOptions().RunMany(cfgs))
+
+	// killAfter counts durable checkpoints before the kill. With warmup 60
+	// and measure 120: quantum 25 dies in config 0's warmup; quantum 60
+	// dies right at config 0's warmup/measure boundary; quantum 121 (with
+	// three checkpoints: warmup-end and measure-end of config 0, then
+	// config 1's warmup-end) dies inside config 1.
+	for _, tc := range []struct {
+		quantum   uint64
+		killAfter int32
+	}{
+		{25, 2},
+		{60, 1},
+		{121, 3},
+	} {
+		dir := t.TempDir()
+		cfg := testServerConfig(dir)
+		cfg.CheckpointEvery = tc.quantum
+
+		var (
+			writes int32
+			victim *Server
+		)
+		killed := make(chan struct{})
+		cfg.OnCheckpoint = func(id string, config, seq int) {
+			if atomic.AddInt32(&writes, 1) == tc.killAfter {
+				victim.Kill()
+				close(killed)
+			}
+		}
+		s1, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim = s1
+		j := submitDirect(t, s1, smokeSpec())
+		s1.Start()
+		<-killed
+		s1.Close() // joins the worker after the kill takes effect
+
+		if got := atomic.LoadInt32(&writes); got < tc.killAfter {
+			t.Fatalf("quantum %d: only %d checkpoints before the kill point %d", tc.quantum, got, tc.killAfter)
+		}
+		if st := j.status(); st.State.Terminal() {
+			t.Fatalf("quantum %d: job reached %q before the kill", tc.quantum, st.State)
+		}
+
+		// A fresh server on the same directory recovers the job, resumes
+		// the interrupted configuration from its checkpoint, and finishes.
+		cfg2 := testServerConfig(dir)
+		cfg2.CheckpointEvery = tc.quantum
+		s2 := newTestServer(t, cfg2)
+		j2, ok := s2.jobByID(j.ID)
+		if !ok {
+			t.Fatalf("quantum %d: restart lost job %s", tc.quantum, j.ID)
+		}
+		if got := waitTerminal(t, s2, j.ID); got != StateDone {
+			t.Fatalf("quantum %d: resumed job finished %q (%s)", tc.quantum, got, j2.status().Error)
+		}
+		final := j2.status()
+		if got := mustJSON(t, final.Results); !bytes.Equal(got, want) {
+			t.Errorf("quantum %d: resumed results diverge from uninterrupted run:\n got %s\nwant %s", tc.quantum, got, want)
+		}
+		s2.mu.Lock()
+		recovered, resumed := s2.jobsRecovered, s2.jobsResumed
+		s2.mu.Unlock()
+		if recovered != 1 {
+			t.Errorf("quantum %d: recovered %d jobs, want 1", tc.quantum, recovered)
+		}
+		if resumed != 1 {
+			t.Errorf("quantum %d: resumed %d configurations from checkpoint, want 1", tc.quantum, resumed)
+		}
+		if final.Checkpoints < int(tc.killAfter) {
+			t.Errorf("quantum %d: final checkpoint count %d below pre-kill count %d (state.json lost history)",
+				tc.quantum, final.Checkpoints, tc.killAfter)
+		}
+	}
+}
+
+// TestServerDoubleKillResume chains two kills through the same job: crash,
+// resume, crash again further along, resume again — the result must still
+// be byte-identical. This is the "any interleaving" half of the resume
+// determinism argument.
+func TestServerDoubleKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	_, cfgs, err := DecodeJobSpec(strings.NewReader(smokeSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, smokeOptions().RunMany(cfgs))
+	dir := t.TempDir()
+
+	var id string
+	for round, killAfter := range []int32{2, 3} {
+		cfg := testServerConfig(dir)
+		cfg.CheckpointEvery = 25
+		var (
+			writes int32
+			victim *Server
+		)
+		killed := make(chan struct{})
+		cfg.OnCheckpoint = func(string, int, int) {
+			if atomic.AddInt32(&writes, 1) == killAfter {
+				victim.Kill()
+				close(killed)
+			}
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim = s
+		if round == 0 {
+			id = submitDirect(t, s, smokeSpec()).ID
+		}
+		s.Start()
+		<-killed
+		s.Close()
+		j, ok := s.jobByID(id)
+		if !ok {
+			t.Fatalf("round %d: job %s lost", round, id)
+		}
+		if st := j.status(); st.State.Terminal() {
+			t.Fatalf("round %d: job reached %q before the kill", round, st.State)
+		}
+	}
+
+	cfg := testServerConfig(dir)
+	cfg.CheckpointEvery = 25
+	s := newTestServer(t, cfg)
+	if got := waitTerminal(t, s, id); got != StateDone {
+		t.Fatalf("job finished %q after two crash cycles", got)
+	}
+	j, _ := s.jobByID(id)
+	if got := mustJSON(t, j.status().Results); !bytes.Equal(got, want) {
+		t.Errorf("twice-crashed job diverges from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestServerGracefulCloseResume covers the third stop cause: Close (not
+// Kill) preempts a running job at a checkpoint boundary, leaving it
+// resumable, and a new server finishes it to the identical result. Also
+// verifies a job still queued at close time is recovered and run.
+func TestServerGracefulCloseResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	_, cfgs, err := DecodeJobSpec(strings.NewReader(smokeSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, smokeOptions().RunMany(cfgs))
+	dir := t.TempDir()
+
+	cfg := testServerConfig(dir)
+	reached := make(chan struct{})
+	proceed := make(chan struct{})
+	var once1, once2 bool
+	cfg.OnCheckpoint = func(string, int, int) {
+		if !once1 {
+			once1 = true
+			close(reached)
+		}
+		if !once2 {
+			<-proceed
+			once2 = true
+		}
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := submitDirect(t, s1, smokeSpec())
+	second := submitDirect(t, s1, smokeSpec())
+	s1.Start()
+
+	// Park the worker at the first checkpoint, begin a graceful close on
+	// another goroutine, and only then let the worker continue: its next
+	// quantum-boundary poll sees the shutdown and preempts.
+	<-reached
+	closed := make(chan struct{})
+	go func() {
+		s1.Close()
+		close(closed)
+	}()
+	for !s1.stopping() {
+		runtime.Gosched()
+	}
+	close(proceed)
+	<-closed
+	if st := first.status(); st.State.Terminal() {
+		t.Fatalf("first job reached %q before close finished", st.State)
+	}
+	if st := second.status(); st.State != StateQueued {
+		t.Fatalf("second job is %q at close, want queued", st.State)
+	}
+
+	s2 := newTestServer(t, testServerConfig(dir))
+	for _, id := range []string{first.ID, second.ID} {
+		if got := waitTerminal(t, s2, id); got != StateDone {
+			t.Fatalf("job %s finished %q after graceful restart", id, got)
+		}
+		j, _ := s2.jobByID(id)
+		if got := mustJSON(t, j.status().Results); !bytes.Equal(got, want) {
+			t.Errorf("job %s diverges from uninterrupted run after graceful restart", id)
+		}
+	}
+}
+
+// TestServerRestartKeepsHistory: terminal jobs survive a restart as
+// queryable history without re-running.
+func TestServerRestartKeepsHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	dir := t.TempDir()
+	s1 := newTestServer(t, testServerConfig(dir))
+	j := submitDirect(t, s1, smokeSpec())
+	if got := waitTerminal(t, s1, j.ID); got != StateDone {
+		t.Fatalf("job finished %q", got)
+	}
+	wantResults := mustJSON(t, j.status().Results)
+	s1.Close()
+
+	s2 := newTestServer(t, testServerConfig(dir))
+	j2, ok := s2.jobByID(j.ID)
+	if !ok {
+		t.Fatal("restart lost the finished job")
+	}
+	st := j2.status()
+	if st.State != StateDone {
+		t.Errorf("recovered job state %q, want done", st.State)
+	}
+	if got := mustJSON(t, st.Results); !bytes.Equal(got, wantResults) {
+		t.Error("recovered results differ from the originals")
+	}
+	s2.mu.Lock()
+	pending := len(s2.pending)
+	s2.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("restart re-queued %d terminal jobs", pending)
+	}
+	// IDs continue after the recovered sequence instead of colliding.
+	j3 := submitDirect(t, s2, smokeSpec())
+	if j3.ID == j.ID {
+		t.Errorf("new job reused recovered ID %s", j.ID)
+	}
+	s2.cancelJob(j3)
+}
