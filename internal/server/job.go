@@ -154,13 +154,19 @@ type Status struct {
 func (j *Job) status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	done := len(j.results)
+	if j.sweepDone > done {
+		// Checkpoint-free RunMany path: results only land when the whole
+		// sweep commits, so the Progress hook's count is the live view.
+		done = j.sweepDone
+	}
 	st := Status{
 		ID:              j.ID,
 		Name:            j.Spec.Name,
 		State:           j.state,
 		Error:           j.err,
 		Configs:         len(j.cfgs),
-		Done:            len(j.results),
+		Done:            done,
 		Config:          j.curConfig,
 		Measured:        j.curMeasured,
 		Target:          j.curTarget,

@@ -26,8 +26,12 @@ var metricStates = []State{
 // renderMetrics builds the full exposition.
 func (s *Server) renderMetrics() string {
 	s.mu.Lock()
-	order := append([]string(nil), s.order...)
-	jobs := s.jobs
+	// Resolve job pointers while the lock is held; indexing the jobs map
+	// after unlocking would race with submit()'s inserts.
+	jobList := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		jobList[i] = s.jobs[id]
+	}
 	queueDepth := len(s.pending) + s.busy + s.reserved
 	capacity := s.cfg.QueueDepth
 	workers := s.cfg.Workers
@@ -54,8 +58,8 @@ func (s *Server) renderMetrics() string {
 
 	// Per-state gauge, computed from live job states in fixed state order.
 	byState := make(map[State]int)
-	for _, id := range order {
-		st := jobs[id].status()
+	for _, j := range jobList {
+		st := j.status()
 		byState[st.State]++
 	}
 	fmt.Fprint(&b, "# HELP oltpserver_jobs Jobs currently known, by lifecycle state.\n# TYPE oltpserver_jobs gauge\n")
@@ -71,12 +75,12 @@ func (s *Server) renderMetrics() string {
 	// Per-job wall-clock cost per simulator reference (step), submission
 	// order. Only jobs that executed steps in this process have a value.
 	fmt.Fprint(&b, "# HELP oltpserver_job_ns_per_ref Wall-clock nanoseconds per simulator step, per job.\n# TYPE oltpserver_job_ns_per_ref gauge\n")
-	for _, id := range order {
-		steps, wall := jobs[id].workDone()
+	for _, j := range jobList {
+		steps, wall := j.workDone()
 		if steps == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "oltpserver_job_ns_per_ref{job=%q} %.3f\n", id, float64(wall.Nanoseconds())/float64(steps))
+		fmt.Fprintf(&b, "oltpserver_job_ns_per_ref{job=%q} %.3f\n", j.ID, float64(wall.Nanoseconds())/float64(steps))
 	}
 	return b.String()
 }

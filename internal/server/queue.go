@@ -245,10 +245,13 @@ func (s *Server) stopJob(j *Job, i int, err error) {
 }
 
 // commitResult makes configuration i's result durable and advances the
-// job: results first, then the state pointing past i, then the now-stale
-// checkpoint — so a crash between any two steps recovers without losing a
-// completed configuration (readJob discards checkpoints whose config index
-// disagrees with the results).
+// job: results first, then the now-stale checkpoint's removal, then the
+// state pointing past i — so a crash between any two steps recovers without
+// losing a completed configuration or resuming from config i's checkpoint.
+// A crash before the removal leaves state.Config == i != len(results), so
+// readJob's guard discards the stale checkpoint; a crash after it leaves no
+// checkpoint at all, and recovery starts config i+1 fresh (results, not
+// state.Config, decide where runJob resumes).
 func (s *Server) commitResult(j *Job, i int, res stats.RunResult) error {
 	j.mu.Lock()
 	j.results = append(j.results, res)
@@ -257,10 +260,10 @@ func (s *Server) commitResult(j *Job, i int, res stats.RunResult) error {
 	if err := s.st.writeResults(j.ID, results); err != nil {
 		return err
 	}
-	if err := s.st.writeState(j.ID, j.snapshotState()); err != nil {
+	if err := s.st.removeCheckpoint(j.ID); err != nil {
 		return err
 	}
-	return s.st.removeCheckpoint(j.ID)
+	return s.st.writeState(j.ID, j.snapshotState())
 }
 
 // finishJob drives a job to a terminal state, persists it, updates the

@@ -153,6 +153,74 @@ func TestConcurrentSubmissions(t *testing.T) {
 	}
 }
 
+// TestConcurrentReadsDuringSubmission races the read surface behind GET
+// /jobs and GET /metrics against a submission storm. Run under -race in
+// CI: it pins that the jobs map is never indexed outside the server lock
+// while submit() is inserting — list snapshots must resolve job pointers
+// under s.mu, not copy the map header and index it after unlocking. The
+// readers call statuses()/renderMetrics() directly in tight loops (HTTP
+// round-trips would leave the race window open only microseconds per
+// request, letting the detector miss real races).
+func TestConcurrentReadsDuringSubmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	const clients = 24
+	cfg := testServerConfig(t.TempDir())
+	cfg.QueueDepth = clients
+	s := newTestServer(t, cfg)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for _, read := range []func(){
+		func() { s.statuses() },
+		func() { s.renderMetrics() },
+	} {
+		readers.Add(1)
+		go func(read func()) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					read()
+				}
+			}
+		}(read)
+	}
+
+	spec, cfgs, err := DecodeJobSpec(strings.NewReader(smokeSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writers sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			if _, err := s.submit(spec, cfgs); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Cancel everything still pending so the test doesn't pay for 24 full
+	// sweeps; the storm above is the part under test.
+	for _, st := range s.statuses() {
+		j, _ := s.jobByID(st.ID)
+		s.cancelJob(j)
+	}
+	for _, st := range s.statuses() {
+		if got := waitTerminal(t, s, st.ID); !got.Terminal() {
+			t.Errorf("job %s left in state %q", st.ID, got)
+		}
+	}
+}
+
 // decodeBody decodes a JSON response body.
 func decodeBody(resp *http.Response, v any) error {
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {

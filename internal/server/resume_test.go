@@ -117,6 +117,92 @@ func TestServerResumeEquivalence(t *testing.T) {
 	}
 }
 
+// TestCommitBoundaryCrashRecovery pins the crash window inside
+// commitResult itself. The commit order is results → checkpoint removal →
+// state advance, so the only stale-checkpoint image a crash can leave is
+// "results.json already holds configuration i, state.json still points at
+// i, checkpoint.bin still holds config i's last checkpoint". Recovery must
+// discard that checkpoint (state.Config != len(results)) and start
+// configuration i+1 fresh — feeding config i's checkpoint to config i+1
+// would fail its machine-fingerprint gate and dead-end the job. The test
+// forges the image from a real mid-config-0 kill plus a directly computed
+// config-0 result, then restarts on it.
+func TestCommitBoundaryCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	_, cfgs, err := DecodeJobSpec(strings.NewReader(smokeSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, smokeOptions().RunMany(cfgs))
+	dir := t.TempDir()
+
+	// Kill mid-configuration-0 so the directory holds config 0's checkpoint
+	// with state.Config == 0 and no results yet.
+	cfg := testServerConfig(dir)
+	cfg.CheckpointEvery = 25
+	var (
+		writes int32
+		victim *Server
+	)
+	killed := make(chan struct{})
+	cfg.OnCheckpoint = func(string, int, int) {
+		if atomic.AddInt32(&writes, 1) == 2 {
+			victim.Kill()
+			close(killed)
+		}
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim = s1
+	id := submitDirect(t, s1, smokeSpec()).ID
+	s1.Start()
+	<-killed
+	s1.Close()
+
+	// Forge the mid-commit crash: configuration 0's result became durable,
+	// but the crash hit before the checkpoint removal (and therefore before
+	// the state advance too).
+	st, err := newStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.writeResults(id, smokeOptions().RunMany(cfgs[:1])); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := testServerConfig(dir)
+	cfg2.CheckpointEvery = 25
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, ok := s2.jobByID(id)
+	if !ok {
+		t.Fatalf("restart lost job %s", id)
+	}
+	if j2.resume != nil {
+		t.Fatal("recovery attached configuration 0's stale checkpoint to the next configuration")
+	}
+	s2.Start()
+	t.Cleanup(func() { s2.Close() })
+	if got := waitTerminal(t, s2, id); got != StateDone {
+		t.Fatalf("job finished %q after commit-boundary crash (%s)", got, j2.status().Error)
+	}
+	if got := mustJSON(t, j2.status().Results); !bytes.Equal(got, want) {
+		t.Errorf("results diverge from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+	s2.mu.Lock()
+	resumed := s2.jobsResumed
+	s2.mu.Unlock()
+	if resumed != 0 {
+		t.Errorf("jobsResumed = %d after discarding a stale checkpoint, want 0", resumed)
+	}
+}
+
 // TestServerDoubleKillResume chains two kills through the same job: crash,
 // resume, crash again further along, resume again — the result must still
 // be byte-identical. This is the "any interleaving" half of the resume

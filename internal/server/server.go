@@ -164,12 +164,8 @@ func (s *Server) Close() error {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
-	s.mu.Lock()
-	order := append([]string(nil), s.order...)
-	jobs := s.jobs
-	s.mu.Unlock()
-	for _, id := range order {
-		jobs[id].closeSubs()
+	for _, j := range s.jobList() {
+		j.closeSubs()
 	}
 	return nil
 }
@@ -223,15 +219,25 @@ func (s *Server) jobByID(id string) (*Job, bool) {
 	return j, ok
 }
 
+// jobList snapshots every job pointer in submission order. Pointers are
+// resolved while s.mu is held — indexing the jobs map after unlocking would
+// race with submit()'s inserts.
+func (s *Server) jobList() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
 // statuses snapshots every job's status in submission order.
 func (s *Server) statuses() []Status {
-	s.mu.Lock()
-	order := append([]string(nil), s.order...)
-	jobs := s.jobs
-	s.mu.Unlock()
-	out := make([]Status, len(order))
-	for i, id := range order {
-		out[i] = jobs[id].status()
+	list := s.jobList()
+	out := make([]Status, len(list))
+	for i, j := range list {
+		out[i] = j.status()
 	}
 	return out
 }
@@ -274,6 +280,23 @@ func (s *Server) submit(spec JobSpec, cfgs []core.Config) (*Job, error) {
 	j := &Job{ID: id, Spec: spec, cfgs: cfgs, state: StateQueued}
 	s.mu.Lock()
 	s.reserved--
+	if s.closing {
+		// Close slipped in during the persistence window: the workers are
+		// gone (or going), so enqueueing would strand the job until a
+		// restart. Reject it and roll the persisted spec back — the client
+		// is told "shutting down", so nothing may survive to recovery.
+		// After a Kill the disk must stay untouched; the spec stays, and
+		// recovery runs the job exactly as it would after a real crash
+		// that cut the 202 off in flight.
+		killed := s.killed
+		s.mu.Unlock()
+		if !killed {
+			if err := s.st.removeJob(id); err != nil {
+				s.cfg.Logf("removing spec of rejected %s: %v", id, err)
+			}
+		}
+		return nil, errClosing
+	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.pending = append(s.pending, id)
