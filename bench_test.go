@@ -464,9 +464,21 @@ func BenchmarkTPCBTransaction(b *testing.B) {
 	}
 }
 
+// stepRefs advances sys until it has retired n more references. One Step
+// call may bulk-retire a whole fast-forwarded hit run, so benchmarks that
+// want ns-per-reference count retired references through Steps() instead of
+// Step calls; b.N iterations of this loop body would conflate runs with
+// references.
+func stepRefs(sys *System, n uint64) {
+	target := sys.Steps() + n
+	for sys.Steps() < target && sys.Step() {
+	}
+}
+
 // BenchmarkSimulationThroughput measures end-to-end simulated references per
 // second on the full machine (8 CPUs, Base), the number that governs how
-// long figure regeneration takes.
+// long figure regeneration takes. ns/op is ns per retired reference
+// (hit-run fast-forwarding retires many references per Step call).
 // The steady-state loop must not allocate: ReportAllocs makes allocs/op
 // part of the default output, and cmd/benchdiff fails CI if it ever rises
 // above the committed zero. Run with a large -benchtime (e.g. 2000000x) for
@@ -478,16 +490,15 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	sys := MustNewSystem(cfg, h)
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sys.Step()
-	}
+	stepRefs(sys, uint64(b.N))
 }
 
 // BenchmarkStepScaling measures per-reference stepping cost as the machine
 // widens from the paper's 8 nodes to 128. With the indexed min-heap event
 // queue, earliest-core selection costs O(log P) instead of the former O(P)
-// scan, so ns/op should grow far slower than node count; cmd/benchdiff
-// tracks the large shapes to keep that sub-linear.
+// scan, so ns/op (ns per retired reference) should grow far slower than
+// node count; cmd/benchdiff tracks the large shapes to keep that
+// sub-linear.
 func BenchmarkStepScaling(b *testing.B) {
 	for _, procs := range []int{8, 32, 64, 128} {
 		b.Run(fmt.Sprintf("nodes=%d", procs), func(b *testing.B) {
@@ -497,9 +508,7 @@ func BenchmarkStepScaling(b *testing.B) {
 			sys := MustNewSystem(cfg, h)
 			b.ReportAllocs()
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				sys.Step()
-			}
+			stepRefs(sys, uint64(b.N))
 		})
 	}
 }
@@ -524,9 +533,18 @@ func benchStepWorkers(b *testing.B, workers int) {
 // BenchmarkStep64Serial is the serial reference for the 64-node run.
 func BenchmarkStep64Serial(b *testing.B) { benchStepWorkers(b, 1) }
 
-// BenchmarkStep64Sharded runs the same 64-node configuration with four
-// epoch-shard workers.
-func BenchmarkStep64Sharded(b *testing.B) { benchStepWorkers(b, 4) }
+// BenchmarkStep64Sharded sweeps the epoch-shard worker count over the same
+// 64-node configuration, pinning the whole scaling curve — not one point —
+// in the benchdiff baseline. workers=1 exercises the sharded code path's
+// degenerate case (SetStepWorkers(1) keeps the serial engine, so it should
+// track BenchmarkStep64Serial exactly).
+func BenchmarkStep64Sharded(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchStepWorkers(b, workers)
+		})
+	}
+}
 
 // BenchmarkJobThroughput measures one job's end-to-end trip through the
 // simulation service: HTTP submission, queue admission, worker execution of

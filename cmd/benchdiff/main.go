@@ -16,10 +16,17 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchdiff -write            # record baseline BENCH_pr8.json
+//	go run ./cmd/benchdiff -write            # record baseline BENCH_pr9.json
 //	go run ./cmd/benchdiff -check            # fail on time or alloc regression
 //	go run ./cmd/benchdiff -check -allocs-only
 //	go run ./cmd/benchdiff -check -threshold 25
+//	go run ./cmd/benchdiff -check -json      # machine-readable comparison
+//
+// Every comparison — human or -json — reports both deltas for every
+// benchmark, including the ones that pass: a time delta inside the
+// threshold and an alloc delta inside tolerance are still data (CI trend
+// dashboards read the -json form), and a FAIL carries its explicit reasons
+// rather than leaving the reader to reverse-engineer which counter tripped.
 //
 // A full sweep takes minutes, so SIGINT/SIGTERM are honored between and
 // during benchmark groups: the in-flight `go test` is killed, and -check
@@ -68,12 +75,13 @@ func main() {
 	var (
 		write      = flag.Bool("write", false, "record the baseline instead of checking against it")
 		check      = flag.Bool("check", false, "compare against the committed baseline")
-		baseline   = flag.String("baseline", "BENCH_pr8.json", "baseline file path")
+		baseline   = flag.String("baseline", "BENCH_pr9.json", "baseline file path")
 		count      = flag.Int("count", 3, "repetitions; the minimum per benchmark is used")
 		short      = flag.Bool("short", true, "run benchmarks in -short mode")
 		threshold  = flag.Float64("threshold", 10, "allowed ns/op regression in percent")
 		allocTol   = flag.Float64("alloc-tolerance", 0.01, "allowed fractional allocs/op regression")
 		allocsOnly = flag.Bool("allocs-only", false, "skip the machine-dependent ns/op comparison")
+		jsonOut    = flag.Bool("json", false, "with -check, emit the comparison as JSON on stdout")
 	)
 	flag.Parse()
 	if *write == *check {
@@ -90,8 +98,11 @@ func main() {
 	// nodes) are the scaling guard: each is recorded under its full
 	// "BenchmarkStepScaling/nodes=N" name, so a super-linear per-ref
 	// slowdown at large N shows up as a plain time regression at that N.
-	// Oltpvet re-analyzes the whole module per iteration (seconds of
-	// type-checking), so like the runner benchmarks it runs at 1x.
+	// Step64Sharded likewise sweeps worker counts as sub-benchmarks
+	// ("BenchmarkStep64Sharded/workers=N"), so the baseline records the
+	// whole parallel-efficiency curve, not one point. Oltpvet re-analyzes
+	// the whole module per iteration (seconds of type-checking), so like
+	// the runner benchmarks it runs at 1x.
 	specs := []benchSpec{
 		{"^BenchmarkRunnerSerial$", "1x"},
 		{"^BenchmarkRunnerColdRepeat$", "1x"},
@@ -161,22 +172,42 @@ func main() {
 	if interrupted {
 		guarded = collected(base.Benchmarks, got)
 	}
-	lines, failed := compare(guarded, got, *threshold, *allocTol, *allocsOnly)
-	for _, line := range lines {
-		fmt.Println(line)
-	}
-	if interrupted {
-		fmt.Printf("benchdiff: interrupted; compared %d of %d baseline benchmarks\n",
-			len(guarded), len(base.Benchmarks))
+	results, failed := compare(guarded, got, *threshold, *allocTol, *allocsOnly)
+	if *jsonOut {
+		rep := Report{
+			Baseline:    *baseline,
+			Interrupted: interrupted,
+			Compared:    len(guarded),
+			Total:       len(base.Benchmarks),
+			Failed:      failed,
+			Results:     results,
+		}
+		out, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, r := range results {
+			fmt.Println(renderResult(r))
+		}
+		if interrupted {
+			fmt.Printf("benchdiff: interrupted; compared %d of %d baseline benchmarks\n",
+				len(guarded), len(base.Benchmarks))
+		}
+		if failed {
+			fmt.Println("benchdiff: regression detected")
+		} else {
+			fmt.Println("benchdiff: within tolerance")
+		}
 	}
 	if failed {
-		fmt.Println("benchdiff: regression detected")
 		os.Exit(1)
 	}
 	if interrupted {
 		os.Exit(130)
 	}
-	fmt.Println("benchdiff: within tolerance")
 }
 
 // benchSpec names one benchmark group and its iteration budget.
@@ -230,35 +261,95 @@ func collected(base []Benchmark, got map[string]Benchmark) []Benchmark {
 	return have
 }
 
+// Report is the machine-readable form of one -check run (-json).
+type Report struct {
+	Baseline    string   `json:"baseline"`
+	Interrupted bool     `json:"interrupted"`
+	Compared    int      `json:"compared"`
+	Total       int      `json:"total"`
+	Failed      bool     `json:"failed"`
+	Results     []Result `json:"results"`
+}
+
+// Result is one benchmark's comparison outcome. Both deltas are always
+// present — a passing benchmark's drift is still data — and a failing one
+// names every counter that tripped in Reasons.
+type Result struct {
+	Name            string   `json:"name"`
+	Status          string   `json:"status"` // "ok", "fail", or "missing"
+	NsPerOp         float64  `json:"ns_per_op"`
+	BaseNsPerOp     float64  `json:"base_ns_per_op"`
+	TimeDeltaPct    float64  `json:"time_delta_pct"`
+	AllocsPerOp     uint64   `json:"allocs_per_op"`
+	BaseAllocsPerOp uint64   `json:"base_allocs_per_op"`
+	AllocDeltaPct   float64  `json:"alloc_delta_pct"`
+	Reasons         []string `json:"reasons,omitempty"`
+}
+
 // compare checks fresh observations against the baseline benchmarks,
-// returning one report line per baseline entry and whether anything
-// regressed. threshold is the allowed ns/op regression in percent; allocTol
-// the allowed fractional allocs/op regression; allocsOnly skips the
+// returning one Result per baseline entry and whether anything regressed.
+// threshold is the allowed ns/op regression in percent; allocTol the
+// allowed fractional allocs/op regression; allocsOnly skips the
 // machine-dependent time comparison.
-func compare(base []Benchmark, got map[string]Benchmark, threshold, allocTol float64, allocsOnly bool) ([]string, bool) {
-	var lines []string
+func compare(base []Benchmark, got map[string]Benchmark, threshold, allocTol float64, allocsOnly bool) ([]Result, bool) {
+	var results []Result
 	failed := false
 	for _, b := range base {
 		g, ok := got[b.Name]
 		if !ok {
-			lines = append(lines, fmt.Sprintf("FAIL %s: benchmark missing from this run", b.Name))
+			results = append(results, Result{
+				Name: b.Name, Status: "missing",
+				BaseNsPerOp: b.NsPerOp, BaseAllocsPerOp: b.AllocsPerOp,
+				Reasons: []string{"benchmark missing from this run"},
+			})
 			failed = true
 			continue
 		}
 		timeRatio := g.NsPerOp / b.NsPerOp
 		allocRatio := ratio(g.AllocsPerOp, b.AllocsPerOp)
-		status := "ok  "
-		switch {
-		case allocRatio > 1+allocTol:
-			status, failed = "FAIL", true
-		case !allocsOnly && timeRatio > 1+threshold/100:
-			status, failed = "FAIL", true
+		r := Result{
+			Name:    b.Name,
+			Status:  "ok",
+			NsPerOp: g.NsPerOp, BaseNsPerOp: b.NsPerOp,
+			TimeDeltaPct:    100 * (timeRatio - 1),
+			AllocsPerOp:     g.AllocsPerOp,
+			BaseAllocsPerOp: b.AllocsPerOp,
+			AllocDeltaPct:   100 * (allocRatio - 1),
 		}
-		lines = append(lines, fmt.Sprintf("%s %s: %.0f ns/op (baseline %.0f, %+.1f%%), %d allocs/op (baseline %d, %+.1f%%)",
-			status, b.Name, g.NsPerOp, b.NsPerOp, 100*(timeRatio-1),
-			g.AllocsPerOp, b.AllocsPerOp, 100*(allocRatio-1)))
+		if allocRatio > 1+allocTol {
+			r.Reasons = append(r.Reasons, fmt.Sprintf("allocs/op %d exceeds baseline %d beyond %.1f%% tolerance",
+				g.AllocsPerOp, b.AllocsPerOp, 100*allocTol))
+		}
+		if !allocsOnly && timeRatio > 1+threshold/100 {
+			r.Reasons = append(r.Reasons, fmt.Sprintf("ns/op %+.1f%% exceeds %.0f%% threshold",
+				r.TimeDeltaPct, threshold))
+		}
+		if len(r.Reasons) > 0 {
+			r.Status = "fail"
+			failed = true
+		}
+		results = append(results, r)
 	}
-	return lines, failed
+	return results, failed
+}
+
+// renderResult is the human form of one comparison outcome: status, both
+// counters with their baselines and deltas, and any failure reasons.
+func renderResult(r Result) string {
+	if r.Status == "missing" {
+		return fmt.Sprintf("FAIL %s: benchmark missing from this run", r.Name)
+	}
+	status := "ok  "
+	if r.Status == "fail" {
+		status = "FAIL"
+	}
+	line := fmt.Sprintf("%s %s: %.0f ns/op (baseline %.0f, %+.1f%%), %d allocs/op (baseline %d, %+.1f%%)",
+		status, r.Name, r.NsPerOp, r.BaseNsPerOp, r.TimeDeltaPct,
+		r.AllocsPerOp, r.BaseAllocsPerOp, r.AllocDeltaPct)
+	if len(r.Reasons) > 0 {
+		line += " [" + strings.Join(r.Reasons, "; ") + "]"
+	}
+	return line
 }
 
 // runBenchmarks shells out to `go test` and returns the best observation per

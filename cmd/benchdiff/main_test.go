@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -46,17 +47,74 @@ func TestCompare(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			lines, failed := compare(tc.base, tc.got, tc.threshold, tc.allocTol, tc.allocsOnly)
+			results, failed := compare(tc.base, tc.got, tc.threshold, tc.allocTol, tc.allocsOnly)
 			if failed != tc.wantFailed {
-				t.Fatalf("failed = %v, want %v (lines: %v)", failed, tc.wantFailed, lines)
+				t.Fatalf("failed = %v, want %v (results: %v)", failed, tc.wantFailed, results)
 			}
-			if len(lines) != len(tc.base) {
-				t.Fatalf("%d report lines for %d baseline entries", len(lines), len(tc.base))
+			if len(results) != len(tc.base) {
+				t.Fatalf("%d results for %d baseline entries", len(results), len(tc.base))
 			}
-			if tc.wantLine != "" && !strings.Contains(lines[0], tc.wantLine) {
-				t.Fatalf("line %q does not contain %q", lines[0], tc.wantLine)
+			if tc.wantLine != "" && !strings.Contains(renderResult(results[0]), tc.wantLine) {
+				t.Fatalf("line %q does not contain %q", renderResult(results[0]), tc.wantLine)
+			}
+			// Every failing result must carry an explicit reason; passing
+			// ones must not.
+			for _, r := range results {
+				if (r.Status != "ok") != (len(r.Reasons) > 0) {
+					t.Errorf("result %+v: status and reasons disagree", r)
+				}
 			}
 		})
+	}
+}
+
+// TestCompareReportsDeltasWhenPassing pins the always-report contract: a
+// benchmark inside every tolerance still carries its exact time and alloc
+// deltas, in both the structured result and the human line.
+func TestCompareReportsDeltasWhenPassing(t *testing.T) {
+	base := []Benchmark{{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 200}}
+	got := map[string]Benchmark{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 1050, AllocsPerOp: 198}}
+	results, failed := compare(base, got, 10, 0.05, false)
+	if failed || len(results) != 1 {
+		t.Fatalf("failed=%v results=%v, want one passing result", failed, results)
+	}
+	r := results[0]
+	if r.Status != "ok" || r.TimeDeltaPct < 4.9 || r.TimeDeltaPct > 5.1 {
+		t.Errorf("time delta %+v, want ~+5%%", r)
+	}
+	if r.AllocDeltaPct > -0.9 || r.AllocDeltaPct < -1.1 {
+		t.Errorf("alloc delta %.2f%%, want ~-1%%", r.AllocDeltaPct)
+	}
+	line := renderResult(r)
+	for _, want := range []string{"allocs/op", "ns/op", "baseline"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("human line %q missing %q", line, want)
+		}
+	}
+	// The structured form must round-trip through JSON with both deltas.
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"time_delta_pct"`, `"alloc_delta_pct"`, `"base_allocs_per_op"`} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("JSON %s missing %s", out, want)
+		}
+	}
+}
+
+// TestCompareFailureReasons pins that a double regression names both
+// counters.
+func TestCompareFailureReasons(t *testing.T) {
+	base := []Benchmark{{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 100}}
+	got := map[string]Benchmark{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 2000, AllocsPerOp: 150}}
+	results, failed := compare(base, got, 10, 0.01, false)
+	if !failed || len(results) != 1 || len(results[0].Reasons) != 2 {
+		t.Fatalf("results = %+v, want one result with two reasons", results)
+	}
+	line := renderResult(results[0])
+	if !strings.Contains(line, "exceeds") {
+		t.Errorf("human line %q does not spell out the failure reasons", line)
 	}
 }
 

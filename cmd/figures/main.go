@@ -29,6 +29,7 @@ import (
 
 	"oltpsim/internal/core"
 	"oltpsim/internal/experiments"
+	"oltpsim/internal/prof"
 	"oltpsim/internal/snapshot"
 )
 
@@ -46,8 +47,22 @@ func main() {
 		warm      = flag.Bool("warm", false, "share end-of-warmup machine state between identical sweep points (results stay bit-identical)")
 		ckptDir   = flag.String("checkpoint", "", "write shared warm-state snapshots to this directory (implies -warm)")
 		resumeDir = flag.String("resume", "", "preload warm-state snapshots from a -checkpoint directory (implies -warm)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *jobs < 0 {
 		fmt.Fprintf(os.Stderr, "figures: -j must be >= 0 (got %d)\n", *jobs)

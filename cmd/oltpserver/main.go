@@ -25,6 +25,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 16, "max jobs admitted but not yet finished (429 beyond)")
 	every := fs.Uint64("checkpoint-every", 500, "default checkpoint quantum in committed transactions for jobs that don't set checkpoint_every")
 	retryAfter := fs.Int("retry-after", 1, "Retry-After seconds advertised on 429 responses")
+	pprofOn := fs.Bool("pprof", true, "serve Go profiling endpoints under /debug/pprof/ (profile a live job with `go tool pprof http://ADDR/debug/pprof/profile`)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,7 +80,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "oltpserver listening on %s\n", ln.Addr())
 	srv.Start()
 
-	hs := &http.Server{Handler: srv}
+	// The job API stays on the server's own method+pattern mux; profiling
+	// endpoints mount in front of it here so the library handler never
+	// exposes them to embedders that don't opt in.
+	handler := http.Handler(srv)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

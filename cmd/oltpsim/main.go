@@ -18,6 +18,7 @@ import (
 	"oltpsim/internal/cli"
 	"oltpsim/internal/core"
 	"oltpsim/internal/experiments"
+	"oltpsim/internal/prof"
 	"oltpsim/internal/stats"
 )
 
@@ -31,6 +32,8 @@ func main() {
 		ckptEvery  = flag.Uint64("checkpoint-every", 0, "with -checkpoint, rewrite the checkpoint every N committed transactions (during warmup and measurement)")
 		resume     = flag.String("resume", "", "resume from a checkpoint file written with the same configuration flags")
 		stepJobs   = flag.Int("step-j", 0, "epoch-sharded stepping workers inside the simulation (0 or 1 = serial; results stay bit-identical)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.IntVar(&spec.Procs, "procs", 1, "processor count (1 or 8 in the paper)")
 	flag.StringVar(&spec.Level, "level", "base", "integration level: cons|base|l2|l2mc|full")
@@ -57,6 +60,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oltpsim:", err)
 		os.Exit(2)
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oltpsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "oltpsim:", err)
+			os.Exit(1)
+		}
+	}()
 
 	opt := experiments.DefaultOptions()
 	opt.WarmupTxns = *warmup

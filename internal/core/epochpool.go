@@ -1,0 +1,109 @@
+package core
+
+// This file holds the epoch engine's persistent worker pool. The original
+// sharded engine spawned fresh goroutines (plus a sync.WaitGroup and a
+// closure per worker) for every phase of every epoch; with epochs a few
+// hundred references long that spawn/join overhead was a measurable slice of
+// the sharded run and the dominant source of its extra allocations. The pool
+// replaces it with workers-1 long-lived goroutines created once per
+// RunUntil: each worker owns a 1-buffered command channel carrying only the
+// phase marker, the engine's per-epoch fields (live set, horizon, worker
+// count) are published by the channel send's happens-before edge, and a
+// shared done channel forms the rendezvous barrier. Closing the command
+// channels retires the pool, so no goroutine outlives the run that started
+// it.
+
+// Phase markers carried on the pool's command channels.
+const (
+	phaseScan  = iota // phase A: read-only safe-prefix scans over e.live
+	phaseServe        // phase B: serve validated references below e.horizon
+)
+
+// startPool spawns the engine's workers-1 persistent goroutines. The caller
+// itself acts as slot 0, so a pool of n workers costs n-1 goroutines.
+func (e *epochEngine) startPool() {
+	if e.workers <= 1 || e.cmds != nil {
+		return
+	}
+	e.cmds = make([]chan int, e.workers-1)
+	e.done = make(chan struct{}, e.workers-1)
+	for i := range e.cmds {
+		ch := make(chan int, 1)
+		e.cmds[i] = ch
+		go e.worker(i+1, ch)
+	}
+}
+
+// stopPool retires the pool's goroutines. Safe to call when no pool is
+// running; after it returns the engine can start a fresh pool.
+func (e *epochEngine) stopPool() {
+	for _, ch := range e.cmds {
+		close(ch)
+	}
+	e.cmds = nil
+	e.done = nil
+}
+
+// worker is the persistent loop of pool slot > 0: run the signaled phase,
+// then rendezvous on the done channel.
+func (e *epochEngine) worker(slot int, ch chan int) {
+	for ph := range ch {
+		e.runWorker(ph, slot)
+		e.done <- struct{}{}
+	}
+}
+
+// dispatch runs one phase across nw slots — slots 1..nw-1 on pool workers,
+// slot 0 on the calling goroutine — and returns once every slot finished
+// (the epoch barrier). The per-epoch inputs (e.live, e.nw, e.horizon) must
+// be written before dispatch; the command sends publish them to the workers
+// and the done receives publish the workers' results (e.stop, e.delta) back.
+func (e *epochEngine) dispatch(phase, nw int) {
+	for i := 1; i < nw; i++ {
+		e.cmds[i-1] <- phase
+	}
+	e.runWorker(phase, 0)
+	for i := 1; i < nw; i++ {
+		<-e.done
+	}
+}
+
+// runWorker executes slot's share of the current phase. Work splits into
+// contiguous chunks by slot index: phase A partitions the live-core
+// snapshot, phase B partitions chips (so every worker touches disjoint
+// per-core and per-chip state, which is what makes the phases race-free).
+func (e *epochEngine) runWorker(phase, slot int) {
+	switch phase {
+	case phaseScan:
+		chunk := (len(e.live) + e.nw - 1) / e.nw
+		lo := slot * chunk
+		hi := lo + chunk
+		if hi > len(e.live) {
+			hi = len(e.live)
+		}
+		for _, idx := range e.live[lo:hi] {
+			e.stop[idx] = e.s.scanSafePrefix(int(idx))
+		}
+	case phaseServe:
+		s := e.s
+		nchips := len(s.nodes)
+		chunk := (nchips + e.nw - 1) / e.nw
+		lo := slot * chunk
+		hi := lo + chunk
+		if hi > nchips {
+			hi = nchips
+		}
+		var n uint64
+		for ci := lo; ci < hi; ci++ {
+			for _, co := range s.nodes[ci].cores {
+				// allCores is laid out in CPU-ID order, so cpuID doubles
+				// as the clock index; done cores sit at the ^0 sentinel
+				// and skip naturally.
+				if s.clocks[co.cpuID] < e.horizon {
+					n += s.serveValidated(co, e.horizon)
+				}
+			}
+		}
+		e.delta[slot] = n
+	}
+}

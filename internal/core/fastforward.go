@@ -1,0 +1,220 @@
+package core
+
+import (
+	"oltpsim/internal/cache"
+	"oltpsim/internal/memref"
+)
+
+// This file implements hit-run fast-forwarding: the serial engine's bulk
+// path for runs of guaranteed L1 hits.
+//
+// The OLTP reference stream is overwhelmingly zero-latency L1 hits
+// punctuated by the misses the paper is actually about. Per-reference
+// stepping pays the full event-queue round trip — scheduler call, cache
+// lookup, accounting, heap sift — for every one of those hits. The sharded
+// engine's prefix scan (shard.go) already proves the key property: a
+// reference that is a guaranteed L1 hit touches only its own core's state
+// (plus its own chip's L2 line for the silent Exclusive→Modified store
+// upgrade) and consumes zero stall cycles. Fast-forwarding exploits the
+// same property serially.
+//
+// Correctness needs no commuting argument at all, which makes it simpler
+// than sharding: the root core retires references only while it would
+// remain the heap root — its projected clock stays strictly below the
+// second-best heap key, or equal with a lower CPU ID (the serial
+// tie-break). Under that bound the serial engine would have dispatched this
+// core for every one of those references anyway, so the executed sequence
+// IS the serial sequence, merely batched. The run stops at the first
+// reference that is not a guaranteed hit, at a possible preemption point
+// (the exact mirror of the scheduler's slice test, safe because the
+// scheduler cannot mutate while one core runs), at the root bound, or at
+// the end of the materialized segment. Runs contain no segment drains, so
+// no transaction can commit inside a run and RunUntil's commit-boundary
+// exactness is preserved.
+//
+// The bookkeeping is batched but exact: one AccountRun call adds the run's
+// instruction totals (zero-latency data hits contribute nothing, exactly
+// as Account would), node kind counters are added once per run, and
+// Scheduler.ConsumeRun advances the cursors precisely as that many Next
+// calls would have. Cache state is updated per reference through the same
+// Access/SetState calls the slow path makes, so LRU order and hit counters
+// are bit-identical.
+
+// fastForward bulk-retires the longest run of guaranteed L1 hits the core
+// at the heap root may serve while it remains the earliest event in the
+// queue, returning the number of references retired. 0 means the next
+// event is not a plain reference (idle, dispatch, drain, preemption) and
+// the per-reference path must take over.
+func (s *System) fastForward(idx int, co *coreCtx) uint64 {
+	// The root keeps its slot while its key (clock, CPU ID) stays the queue
+	// minimum; the runner-up key is the smaller of the root's two children.
+	limT := ^uint64(0)
+	limID := int32(-1)
+	h := s.heap
+	if len(h) > 1 {
+		c1 := h[1]
+		limT, limID = s.clocks[c1], c1
+		if len(h) > 2 {
+			c2 := h[2]
+			if t2 := s.clocks[c2]; t2 < limT || (t2 == limT && c2 < limID) {
+				limT, limID = t2, c2
+			}
+		}
+	}
+	n := s.serveHitRun(co, limT, limID, true)
+	if n > 0 {
+		s.clocks[idx] = co.inorder.Now()
+		s.siftDown(0)
+		s.steps += n
+	}
+	return n
+}
+
+// serveHitRun serves core co's pending references for as long as each one
+// is a guaranteed zero-latency L1 hit and its serve time stays inside the
+// bound: strictly before limT, or exactly at limT when co's CPU ID is below
+// limID (the serial root tie-break; pass limID < 0 for the strict bound the
+// sharded horizon requires). In serial mode the reference that ends the run
+// is itself finished through the ordinary hierarchy path, so a run and its
+// terminating miss cost one scheduler lookahead in total; in sharded mode
+// (serial=false) a non-hit inside the bound violates the epoch horizon
+// argument and panics. Returns the number of references retired.
+func (s *System) serveHitRun(co *coreCtx, limT uint64, limID int32, serial bool) uint64 {
+	m := co.inorder
+	nd := co.chip
+	cid := int32(co.cpuID)
+	t := m.Now()
+	pr := s.sched.Pending(co.cpuID)
+
+	var (
+		nSwitch, nSeg          int
+		instrs, kinstrs        uint64
+		fetches, loads, stores uint64
+		served                 int
+		term                   memref.Ref
+		termLine               uint64
+		termSwitch             bool
+		haveTerm               bool
+	)
+
+scan:
+	// Phase 0 walks the pending context-switch overhead (served by the
+	// scheduler unconditionally — no slice accounting, no preemption test),
+	// phase 1 the running process's segment. The walk mirrors
+	// scanSafePrefix exactly, which is what lets the sharded engine replay
+	// through this same function against its phase-A stop times.
+	for phase := 0; phase < 2; phase++ {
+		refs := pr.Switch
+		if phase == 1 {
+			refs = pr.Seg
+		}
+		for k := 0; k < len(refs); k++ {
+			if served >= maxEpochScan {
+				break scan
+			}
+			if !(t < limT || (t == limT && cid < limID)) {
+				break scan
+			}
+			if phase == 1 && pr.SliceUsed+nSeg >= pr.Quantum && pr.OtherWake <= t {
+				// Exact mirror of the scheduler's slice-expiry test at
+				// serve time t; OtherWake cannot change mid-run because
+				// only this core touches the scheduler while it runs.
+				break scan
+			}
+			r := refs[k]
+			line := r.Line()
+			switch r.Kind {
+			case memref.IFetch:
+				if co.l1i.Access(line) == cache.Invalid {
+					term, termLine, termSwitch, haveTerm = r, line, phase == 0, true
+					break scan
+				}
+				in := uint64(r.Instrs)
+				instrs += in
+				if r.Kernel {
+					kinstrs += in
+				}
+				fetches++
+				t += in
+			case memref.Load:
+				if co.l1d.Access(line) == cache.Invalid {
+					term, termLine, termSwitch, haveTerm = r, line, phase == 0, true
+					break scan
+				}
+				loads++
+			default:
+				switch co.l1d.Access(line) {
+				case cache.Modified:
+				case cache.Exclusive:
+					// Silent E->M upgrade, same as the slow path.
+					co.l1d.SetState(line, cache.Modified)
+					nd.l2.SetState(line, cache.Modified)
+				default:
+					// Shared or Invalid: the store needs the L2 or the
+					// directory.
+					term, termLine, termSwitch, haveTerm = r, line, phase == 0, true
+					break scan
+				}
+				stores++
+			}
+			if phase == 0 {
+				nSwitch++
+			} else {
+				nSeg++
+			}
+			served++
+		}
+	}
+
+	if served == 0 && !haveTerm {
+		return 0
+	}
+	if haveTerm && !serial {
+		panic("core: sharded step left the validated prefix (memory miss)")
+	}
+
+	// Flush the batched accounting before any lower-level access: the
+	// contention model reads core clocks, so the run's clock advance must
+	// land first — exactly where per-reference stepping would have left it.
+	if instrs != 0 {
+		m.AccountRun(instrs, kinstrs)
+	}
+	nd.ifetches += fetches
+	nd.loads += loads
+	nd.stores += stores
+	if serial {
+		s.ffSteps += uint64(served)
+	}
+	if haveTerm {
+		if termSwitch {
+			nSwitch++
+		} else {
+			nSeg++
+		}
+	}
+	s.sched.ConsumeRun(co.cpuID, nSwitch, nSeg)
+	if !haveTerm {
+		return uint64(served)
+	}
+
+	// Finish the run-ending reference through the ordinary hierarchy path.
+	// Its L1 lookup already happened above (and missed the fast-path
+	// criteria), so it resumes below the L1.
+	ifetch := term.Kind == memref.IFetch
+	write := term.Kind == memref.Store
+	switch term.Kind {
+	case memref.IFetch:
+		nd.ifetches++
+	case memref.Load:
+		nd.loads++
+	default:
+		nd.stores++
+	}
+	l1 := co.l1d
+	if ifetch {
+		l1 = co.l1i
+	}
+	lat, cat := s.accessBeyondL1(nd, co, l1, termLine, ifetch, write)
+	m.Account(term, lat, cat)
+	return uint64(served) + 1
+}

@@ -1,11 +1,7 @@
 package core
 
 import (
-	"sync"
-
 	"oltpsim/internal/cache"
-	"oltpsim/internal/cpu"
-	"oltpsim/internal/kernel"
 	"oltpsim/internal/memref"
 )
 
@@ -32,11 +28,12 @@ import (
 //  2. Barrier, then phase B (parallel over chip shards): with the horizon H
 //     = min over live cores of the stop time, every reference served
 //     strictly before H lies inside some core's validated prefix, so each
-//     shard replays its cores' references through the ordinary
-//     Scheduler.Next / access / Account path while the core clock stays
-//     below H. Guard panics enforce that nothing leaves the validated
-//     prefix. Per-shard step counts merge into the System counter at the
-//     barrier, and the event queue is rebuilt from the advanced clocks.
+//     shard replays its cores' references through serveHitRun — the same
+//     bulk path the serial engine's fast-forward uses, with the strict
+//     horizon bound (limID < 0) in place of the root tie-break. Guard
+//     panics enforce that nothing leaves the validated prefix. Per-shard
+//     step counts merge into the System counter at the barrier, and the
+//     event queue is rebuilt from the advanced clocks.
 //
 //  3. A serial batch of ordinary heap steps retires the non-validated
 //     events at the horizon — misses, directory transactions, segment
@@ -55,6 +52,16 @@ const (
 	// serialBatch is how many ordinary heap steps run between epochs to
 	// clear the events blocking the horizon.
 	serialBatch = 256
+	// epochMinYield is the retired-reference count below which an epoch is
+	// judged unproductive: a full epoch prices a safe-prefix scan of every
+	// live core, so retiring only a handful of references costs more than
+	// serving them serially would have.
+	epochMinYield = 32
+	// epochBackoffMax caps the adaptive pacing multiplier: after repeated
+	// unproductive epochs up to epochBackoffMax serial batches run between
+	// attempts, so a workload whose horizon never opens up degrades to
+	// nearly pure serial stepping instead of paying for futile scans.
+	epochBackoffMax = 64
 )
 
 // SetStepWorkers selects how many goroutines step the machine inside a
@@ -80,17 +87,29 @@ func (s *System) committedCount() uint64 {
 	return s.w.Committed()
 }
 
-// epochEngine holds the reusable scratch state of the sharded stepping loop.
+// epochEngine holds the reusable scratch state of the sharded stepping loop,
+// including the persistent worker pool (epochpool.go).
 type epochEngine struct {
 	s       *System
 	workers int
 	stop    []uint64 // per-core projected time of the first non-validated event
 	live    []int32  // scratch snapshot of the live-core heap
-	delta   []uint64 // per-shard executed-reference counts
+	delta   []uint64 // per-slot executed-reference counts
+
+	// Pool state: slot 1..workers-1 command channels, the barrier channel,
+	// and the per-epoch inputs the dispatching goroutine publishes to the
+	// workers (see epochpool.go for the synchronization argument).
+	cmds    []chan int
+	done    chan struct{}
+	nw      int    // worker count of the phase being dispatched
+	horizon uint64 // phase B's serving bound
 }
 
 func (s *System) engine() *epochEngine {
 	if s.eng == nil || s.eng.workers != s.stepWorkers {
+		if s.eng != nil {
+			s.eng.stopPool()
+		}
 		s.eng = &epochEngine{
 			s:       s,
 			workers: s.stepWorkers,
@@ -103,25 +122,45 @@ func (s *System) engine() *epochEngine {
 }
 
 // runUntilSharded is RunUntil's epoch-sharded twin: identical stop condition
-// and deadlock guard, with epochs interleaved between serial batches.
+// and deadlock guard, with epochs interleaved between serial batches. Epoch
+// pacing is adaptive: each unproductive epoch doubles the number of serial
+// batches before the next attempt and a productive one resets the pace.
+// Pacing decisions key only on retired-reference counts, which are
+// worker-count-independent, so the executed schedule — and therefore every
+// result — stays byte-identical for any worker count (pacing merely moves
+// work between the epoch path and the serial path, which execute the same
+// sequence).
 func (s *System) runUntilSharded(target uint64) {
 	e := s.engine()
+	e.startPool()
+	defer e.stopPool()
 	var guard uint64
 	bound := s.stepBound(target)
+	pace := 1
 	for {
-		for i := 0; i < serialBatch; i++ {
-			if s.committedCount() >= target {
-				return
+		for b := 0; b < pace; b++ {
+			for i := 0; i < serialBatch; i++ {
+				if s.committedCount() >= target {
+					return
+				}
+				if !s.Step() {
+					return
+				}
+				guard++
 			}
-			if !s.Step() {
-				return
-			}
-			guard++
 		}
 		if s.committedCount() >= target {
 			return
 		}
-		guard += e.runEpoch()
+		n := e.runEpoch()
+		guard += n
+		if n < epochMinYield {
+			if pace < epochBackoffMax {
+				pace *= 2
+			}
+		} else {
+			pace = 1
+		}
 		if guard > bound {
 			s.deadlockPanic(guard, target)
 		}
@@ -159,103 +198,67 @@ func (e *epochEngine) runEpoch() uint64 {
 	return n
 }
 
-// phaseA fills e.stop for every live core: a parallel, read-only scan.
+// phaseA fills e.stop for every live core: a parallel, read-only scan
+// dispatched across the persistent pool.
 func (e *epochEngine) phaseA() {
-	live := e.live
 	nw := e.workers
-	if nw > len(live) {
-		nw = len(live)
+	if nw > len(e.live) {
+		nw = len(e.live)
 	}
-	if nw <= 1 {
-		for _, idx := range live {
-			e.stop[idx] = e.s.scanSafePrefix(int(idx))
-		}
-		return
+	if nw < 1 {
+		nw = 1
 	}
-	chunk := (len(live) + nw - 1) / nw
-	var wg sync.WaitGroup
-	for lo := 0; lo < len(live); lo += chunk {
-		hi := lo + chunk
-		if hi > len(live) {
-			hi = len(live)
-		}
-		wg.Add(1)
-		go func(part []int32) {
-			defer wg.Done()
-			for _, idx := range part {
-				e.stop[idx] = e.s.scanSafePrefix(int(idx))
-			}
-		}(live[lo:hi])
-	}
-	wg.Wait()
+	e.nw = nw
+	e.dispatch(phaseScan, nw)
 }
 
-// phaseB replays every validated reference below the horizon, one goroutine
-// per contiguous shard of chips, and merges the per-shard step counts.
+// phaseB replays every validated reference below the horizon, one pool slot
+// per contiguous shard of chips, and merges the per-slot step counts. The
+// replay runs through serveHitRun, so phase B retires whole runs per
+// scheduler lookahead exactly like the serial fast-forward; its counts land
+// in the fast-forward diagnostic too, since these references were bulk-
+// retired the same way.
 func (e *epochEngine) phaseB(horizon uint64) uint64 {
 	s := e.s
-	nchips := len(s.nodes)
 	nw := e.workers
-	if nw > nchips {
-		nw = nchips
+	if nw > len(s.nodes) {
+		nw = len(s.nodes)
 	}
-	chunk := (nchips + nw - 1) / nw
-	var wg sync.WaitGroup
-	shard := 0
-	for lo := 0; lo < nchips; lo += chunk {
-		hi := lo + chunk
-		if hi > nchips {
-			hi = nchips
-		}
-		wg.Add(1)
-		go func(shard, lo, hi int) {
-			defer wg.Done()
-			var n uint64
-			for ci := lo; ci < hi; ci++ {
-				for _, co := range s.nodes[ci].cores {
-					// allCores is laid out in CPU-ID order, so cpuID doubles
-					// as the clock index; done cores sit at the ^0 sentinel
-					// and skip naturally.
-					if s.clocks[co.cpuID] < horizon {
-						n += s.runValidated(co, horizon)
-					}
-				}
-			}
-			e.delta[shard] = n
-		}(shard, lo, hi)
-		shard++
+	if nw < 1 {
+		nw = 1
 	}
-	wg.Wait()
+	e.nw = nw
+	e.horizon = horizon
+	e.dispatch(phaseServe, nw)
 	var total uint64
-	for i := 0; i < shard; i++ {
+	for i := 0; i < nw; i++ {
 		total += e.delta[i]
 		e.delta[i] = 0
 	}
 	s.steps += total
+	s.ffSteps += total
 	return total
 }
 
-// runValidated serves one core's references while its clock stays below the
-// horizon. Phase A guarantees every such reference is a zero-latency L1 hit
-// whose serve leaves all cross-chip state untouched; the panics turn any
-// violation of that reasoning into an immediate loud failure instead of
-// silent nondeterminism.
-func (s *System) runValidated(co *coreCtx, horizon uint64) uint64 {
+// serveValidated serves one core's references while its clock stays below
+// the horizon, whole hit-runs at a time. Phase A guarantees every reference
+// below the horizon is a zero-latency L1 hit whose serve leaves all
+// cross-chip state untouched; serveHitRun's sharded mode panics on any
+// non-hit inside the bound, and the progress panic here covers the remaining
+// way the reasoning could fail (a scheduler event — drain, refill, dispatch,
+// preemption — surfacing before the horizon), turning either violation into
+// an immediate loud failure instead of silent nondeterminism.
+func (s *System) serveValidated(co *coreCtx, horizon uint64) uint64 {
 	idx := co.cpuID
 	m := co.inorder
 	var n uint64
 	for s.clocks[idx] < horizon {
-		r, st, _ := s.sched.Next(co.cpuID, s.clocks[idx])
-		if st != kernel.StatusRef {
+		k := s.serveHitRun(co, horizon, -1, false)
+		if k == 0 {
 			panic("core: sharded step left the validated prefix (scheduler event)")
 		}
-		lat, cat := s.access(co.chip, co, r)
-		if lat != 0 || cat != cpu.CatNone {
-			panic("core: sharded step left the validated prefix (memory miss)")
-		}
-		m.Account(r, 0, cpu.CatNone)
 		s.clocks[idx] = m.Now()
-		n++
+		n += k
 	}
 	return n
 }

@@ -38,6 +38,12 @@ type Options struct {
 	// cannot drive (out-of-order cores, single chips) fall back to serial on
 	// their own.
 	StepWorkers int
+	// NoFastForward disables hit-run fast-forwarding inside each simulation
+	// (core.System.SetFastForward). The fast path is byte-identical to
+	// per-reference stepping; the switch exists so equivalence tests can run
+	// both sides and benchmarks can price the bulk path. The zero value —
+	// fast-forward on — is what every committed figure uses.
+	NoFastForward bool
 	// WarmSnapshot, when non-nil, shares end-of-warmup machine snapshots
 	// between the runs of a sweep: configurations with an identical machine
 	// shape and seed fork their measurement phases from one warm state
@@ -101,6 +107,7 @@ func (o Options) Params(cfg core.Config) oltp.Params {
 func (o Options) build(cfg core.Config) *core.System {
 	sys := core.MustNewSystem(cfg, oltp.MustNewHarness(o.Params(cfg)))
 	sys.SetStepWorkers(o.StepWorkers)
+	sys.SetFastForward(!o.NoFastForward)
 	return sys
 }
 

@@ -8,23 +8,58 @@ import (
 )
 
 // TestShardedSteppingMatchesSerial is the byte-identity contract of the
-// epoch-sharded stepping engine: every invariant machine shape must produce
-// exactly the same RunResult with sharded stepping as with the serial
-// engine. Shapes the sharded engine declines (uniprocessors, out-of-order
-// cores) exercise the silent serial fallback and must also match.
+// intra-run execution engines: every invariant machine shape must produce
+// exactly the same RunResult under per-reference serial stepping
+// (NoFastForward), serial stepping with hit-run fast-forwarding (the
+// default), and epoch-sharded stepping. Shapes the sharded engine declines
+// (uniprocessors, out-of-order cores) exercise the silent serial fallback
+// and must also match.
 func TestShardedSteppingMatchesSerial(t *testing.T) {
 	for _, cfg := range invariantConfigs() {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {
 			t.Parallel()
-			serial := invariantOptions()
+			perRef := invariantOptions()
+			perRef.NoFastForward = true
+			want := perRef.Run(cfg)
+
+			fast := invariantOptions()
+			if got := fast.Run(cfg); !reflect.DeepEqual(want, got) {
+				t.Fatalf("fast-forward diverged from per-reference stepping:\nper-ref: %+v\nfast:    %+v", want, got)
+			}
+
 			sharded := invariantOptions()
 			sharded.StepWorkers = 3
+			if got := sharded.Run(cfg); !reflect.DeepEqual(want, got) {
+				t.Fatalf("sharded stepping diverged from serial:\nserial:  %+v\nsharded: %+v", want, got)
+			}
+		})
+	}
+}
 
-			rs := serial.Run(cfg)
-			rp := sharded.Run(cfg)
-			if !reflect.DeepEqual(rs, rp) {
-				t.Fatalf("sharded stepping diverged from serial:\nserial:  %+v\nsharded: %+v", rs, rp)
+// TestShardStress64Nodes drives the epoch engine at CI's stress point: a
+// 64-chip machine stepped by 8 workers, the shape where the persistent
+// pool's barrier discipline sees the most concurrent traffic. Run under
+// -race this crosses thousands of epoch barriers; the serial run is the
+// byte-identity oracle. Skipped in -short so the ordinary race sweep stays
+// fast — CI runs it as its own step.
+func TestShardStress64Nodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node stress shape runs in the dedicated CI race step")
+	}
+	for _, cfg := range []core.Config{
+		core.FullConfig(64, 2*core.MB, 8),
+		core.BaseConfig(64, 8*core.MB, 1),
+	} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			serial := invariantOptions()
+			want := serial.Run(cfg)
+			sharded := invariantOptions()
+			sharded.StepWorkers = 8
+			if got := sharded.Run(cfg); !reflect.DeepEqual(want, got) {
+				t.Fatalf("64-node sharded stepping diverged from serial:\nserial:  %+v\nsharded: %+v", want, got)
 			}
 		})
 	}

@@ -8,12 +8,15 @@ import (
 
 // ApprovedGoroutineFiles are the only files under internal/ allowed to start
 // goroutines. Everything the simulator computes must be a pure function of
-// configuration and seed, and the two files below are the only places where
+// configuration and seed, and the files below are the only places where
 // concurrency has a proven determinism argument:
 //
 //   - internal/core/shard.go: the epoch-sharded stepping engine, whose
 //     barrier protocol guarantees parallel phases execute exactly the
 //     serial-order prefix (see DESIGN.md, "Event-queue core");
+//   - internal/core/epochpool.go: that engine's persistent worker pool —
+//     the goroutines are dumb executors of the engine's phases, created and
+//     retired inside one RunUntil, synchronized by the same barrier;
 //   - internal/experiments/runner.go: the experiment worker pool, which
 //     parallelizes across independent System instances that share no
 //     mutable state;
@@ -26,6 +29,7 @@ import (
 // concurrency seam and is reported.
 var ApprovedGoroutineFiles = []string{
 	"internal/core/shard.go",
+	"internal/core/epochpool.go",
 	"internal/experiments/runner.go",
 	"internal/server/queue.go",
 }

@@ -1,0 +1,61 @@
+// Package prof wires the runtime's CPU and heap profilers into the
+// command-line tools. The simulator's hot path is a hand-flattened loop
+// whose performance claims (DESIGN.md §5, EXPERIMENTS.md "Hot-path
+// performance") are only credible if anyone can reproduce the profiles
+// behind them; this package gives every command the same two flags'
+// behavior — -cpuprofile for a pprof CPU trace of the whole run and
+// -memprofile for a heap snapshot at exit — without each main duplicating
+// the open/start/stop/write choreography.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two (possibly empty) output paths and
+// returns a stop function to be called exactly once when the measured work
+// is done. An empty path disables that profile. The stop function finishes
+// the CPU profile and then writes the heap profile after a final GC, so the
+// snapshot shows live retained memory rather than garbage awaiting
+// collection.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: cpu profile: %w", err)
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("prof: heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("prof: heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}
