@@ -30,6 +30,7 @@ import (
 	"oltpsim/internal/core"
 	"oltpsim/internal/experiments"
 	"oltpsim/internal/prof"
+	"oltpsim/internal/scenario"
 	"oltpsim/internal/snapshot"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		resumeDir = flag.String("resume", "", "preload warm-state snapshots from a -checkpoint directory (implies -warm)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		scenFile  = flag.String("scenario", "", "render the timeline figure family for this scenario profile (integration ladder vs. phase) instead of the paper figures")
 	)
 	flag.Parse()
 
@@ -102,6 +104,22 @@ func main() {
 			opt.MeasureTxns = uint64(*measure)
 		}
 	})
+
+	// The timeline family replaces the paper figures: run the integration
+	// ladder under the scenario and render normalized cost per phase. The
+	// default figure set (and its golden output) is untouched.
+	if *scenFile != "" {
+		sched, err := loadSchedule(*scenFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+		opt.Scenario = sched
+		tf := experiments.RunTimelineLadder(opt, 8, true)
+		fmt.Print(tf.Render())
+		fmt.Println(strings.Repeat("-", 72))
+		return
+	}
 
 	if *warm || *ckptDir != "" || *resumeDir != "" {
 		opt.WarmSnapshot = experiments.NewWarmCache()
@@ -212,6 +230,20 @@ func main() {
 		fmt.Print(reports[i])
 	}
 	saveWarm(opt.WarmSnapshot, *ckptDir)
+}
+
+// loadSchedule decodes and compiles a scenario profile file.
+func loadSchedule(path string) (*scenario.Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := scenario.DecodeProfile(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return p.Compile()
 }
 
 // saveWarm persists the warm cache to dir (no-op without -checkpoint).

@@ -8,17 +8,20 @@
 //	oltpsim -procs 8 -level full -l2 2M -assoc 8 -ooo
 //	oltpsim -procs 8 -level full -l2 1M -assoc 4 -rac 8M -repl
 //	oltpsim -procs 8 -level full -l2 2M -assoc 8 -cores 2   # CMP
+//	oltpsim -procs 8 -level full -l2 2M -assoc 8 -scenario examples/burst.json -timeline out.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"oltpsim/internal/cli"
 	"oltpsim/internal/core"
 	"oltpsim/internal/experiments"
 	"oltpsim/internal/prof"
+	"oltpsim/internal/scenario"
 	"oltpsim/internal/stats"
 )
 
@@ -34,6 +37,8 @@ func main() {
 		stepJobs   = flag.Int("step-j", 0, "epoch-sharded stepping workers inside the simulation (0 or 1 = serial; results stay bit-identical)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		scenFile   = flag.String("scenario", "", "run a time-varying workload profile from this JSON file instead of the fixed mix (-txns is ignored; phases are segmented in the output)")
+		timeline   = flag.String("timeline", "", "with -scenario, write the per-phase timeline to this file (.json for JSON, anything else CSV)")
 	)
 	flag.IntVar(&spec.Procs, "procs", 1, "processor count (1 or 8 in the paper)")
 	flag.StringVar(&spec.Level, "level", "base", "integration level: cons|base|l2|l2mc|full")
@@ -52,6 +57,10 @@ func main() {
 	}
 	if *stepJobs < 0 {
 		fmt.Fprintf(os.Stderr, "oltpsim: -step-j must be >= 0 (got %d)\n", *stepJobs)
+		os.Exit(2)
+	}
+	if *timeline != "" && *scenFile == "" {
+		fmt.Fprintln(os.Stderr, "oltpsim: -timeline requires -scenario")
 		os.Exit(2)
 	}
 
@@ -78,6 +87,45 @@ func main() {
 	opt.MeasureTxns = *measure
 	opt.Quick = *quick
 	opt.StepWorkers = *stepJobs
+	if *scenFile != "" {
+		sched, err := loadSchedule(*scenFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oltpsim:", err)
+			os.Exit(2)
+		}
+		opt.Scenario = sched
+	}
+
+	printConfig := func() {
+		fmt.Printf("configuration: %s (%s, %d processor(s))\n", cfg.Name, cfg.Level, cfg.Processors)
+		lat := cfg.Latencies()
+		fmt.Printf("latencies: L2 hit %d, local %d, remote %d, remote dirty %d\n",
+			lat.L2Hit, lat.Local, lat.Remote, lat.RemoteDirty)
+	}
+
+	if opt.Scenario != nil {
+		sr, err := runScenario(opt, cfg, *resume, *checkpoint, *ckptEvery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oltpsim:", err)
+			os.Exit(1)
+		}
+		printConfig()
+		fmt.Printf("scenario: %s (%d phase(s), %d transactions)\n",
+			opt.Scenario.Name(), opt.Scenario.NumPhases(), opt.Scenario.TotalTxns())
+		for i := range sr.Phases {
+			p := &sr.Phases[i]
+			fmt.Printf("phase %-12s %8d txns  %10.1f cycles/txn  %8.2f L2 misses/txn\n",
+				p.Result.Name, p.Result.Txns, p.Result.CyclesPerTxn(), p.Result.MissesPerTxn())
+		}
+		fmt.Print(sr.Total.Summary())
+		if *timeline != "" {
+			if err := writeTimeline(*timeline, &sr); err != nil {
+				fmt.Fprintln(os.Stderr, "oltpsim:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	var res stats.RunResult
 	if *checkpoint == "" && *resume == "" {
@@ -89,11 +137,57 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("configuration: %s (%s, %d processor(s))\n", cfg.Name, cfg.Level, cfg.Processors)
-	lat := cfg.Latencies()
-	fmt.Printf("latencies: L2 hit %d, local %d, remote %d, remote dirty %d\n",
-		lat.L2Hit, lat.Local, lat.Remote, lat.RemoteDirty)
+	printConfig()
 	fmt.Print(res.Summary())
+}
+
+// loadSchedule decodes and compiles a scenario profile file.
+func loadSchedule(path string) (*scenario.Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	prof, err := scenario.DecodeProfile(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return prof.Compile()
+}
+
+// runScenario executes a phased run, plain or through the checkpoint
+// protocol when -checkpoint/-resume are set.
+func runScenario(opt experiments.Options, cfg core.Config, resumePath, checkpointPath string, every uint64) (experiments.ScenarioResult, error) {
+	if checkpointPath == "" && resumePath == "" {
+		return opt.RunScenario(cfg), nil
+	}
+	cr, err := checkpointIO(resumePath, checkpointPath, every)
+	if err != nil {
+		return experiments.ScenarioResult{}, err
+	}
+	sr, _, err := opt.RunScenarioCheckpointed(cfg, cr)
+	if err != nil && resumePath != "" {
+		err = fmt.Errorf("resume %s: %w", resumePath, err)
+	}
+	return sr, err
+}
+
+// writeTimeline writes the per-phase timeline, JSON for .json paths and CSV
+// otherwise.
+func writeTimeline(path string, sr *experiments.ScenarioResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = experiments.WriteTimelineJSON(f, sr)
+	} else {
+		err = experiments.WriteTimelineCSV(f, sr)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // runCheckpointed executes the warmup/measure protocol with checkpoint
@@ -102,11 +196,24 @@ func main() {
 // experiments.Options.Run (checkpoint writes are read-only), so a resumed
 // run's output is bit-identical to an uninterrupted one.
 func runCheckpointed(opt experiments.Options, cfg core.Config, resumePath, checkpointPath string, every uint64) (stats.RunResult, error) {
+	cr, err := checkpointIO(resumePath, checkpointPath, every)
+	if err != nil {
+		return stats.RunResult{}, err
+	}
+	res, _, err := opt.RunCheckpointed(cfg, cr)
+	if err != nil && resumePath != "" {
+		err = fmt.Errorf("resume %s: %w", resumePath, err)
+	}
+	return res, err
+}
+
+// checkpointIO wires file paths into a CheckpointRun.
+func checkpointIO(resumePath, checkpointPath string, every uint64) (experiments.CheckpointRun, error) {
 	var cr experiments.CheckpointRun
 	if resumePath != "" {
 		data, err := os.ReadFile(resumePath)
 		if err != nil {
-			return stats.RunResult{}, err
+			return cr, err
 		}
 		cr.Resume = data
 	}
@@ -116,9 +223,5 @@ func runCheckpointed(opt experiments.Options, cfg core.Config, resumePath, check
 			return os.WriteFile(checkpointPath, data, 0o644)
 		}
 	}
-	res, _, err := opt.RunCheckpointed(cfg, cr)
-	if err != nil && resumePath != "" {
-		err = fmt.Errorf("resume %s: %w", resumePath, err)
-	}
-	return res, err
+	return cr, nil
 }

@@ -555,6 +555,10 @@ func (s *System) Collect(name string, txns uint64) stats.RunResult {
 	if l1dAcc > 0 {
 		res.L1DMissRate = float64(l1dMiss) / float64(l1dAcc)
 	}
+	res.L1IAccesses = l1iAcc
+	res.L1IMisses = l1iMiss
+	res.L1DAccesses = l1dAcc
+	res.L1DMisses = l1dMiss
 	res.Invalidations = s.dir.Stats.Invalidations
 	res.Writebacks = s.dir.Stats.Writebacks
 	res.WriteInvalOps = s.writeInvalOps

@@ -63,6 +63,20 @@ func (b *Breakdown) Add(other *Breakdown) {
 	b.Instructions += other.Instructions
 }
 
+// Sub removes prev from b. Cycle counters are monotone, so with prev an
+// earlier collection of the same run the difference is the segment between
+// the two collection points (per-phase scenario timelines).
+func (b *Breakdown) Sub(prev *Breakdown) {
+	b.Busy -= prev.Busy
+	b.L2Hit -= prev.L2Hit
+	b.Local -= prev.Local
+	b.Remote -= prev.Remote
+	b.RemoteDirty -= prev.RemoteDirty
+	b.Idle -= prev.Idle
+	b.Kernel -= prev.Kernel
+	b.Instructions -= prev.Instructions
+}
+
 func (b *Breakdown) charge(cat StallCat, cycles uint64, kernel bool) {
 	switch cat {
 	case CatL2Hit:

@@ -193,12 +193,12 @@ func (o Options) RunCheckpointed(cfg core.Config, cr CheckpointRun) (stats.RunRe
 		measureBase = sys.Committed()
 		sys.ResetStats()
 		if cr.OnProgress != nil {
-			cr.OnProgress(0, o.MeasureTxns)
+			cr.OnProgress(0, o.MeasuredTxns())
 		}
 	}
 
 	// Measurement, chunked by the checkpoint quantum.
-	target := measureBase + o.MeasureTxns
+	target := measureBase + o.MeasuredTxns()
 	for sys.Committed() < target {
 		if canceled() {
 			return stats.RunResult{}, executed(), ErrCanceled
@@ -214,7 +214,7 @@ func (o Options) RunCheckpointed(cfg core.Config, cr CheckpointRun) (stats.RunRe
 			}
 		}
 		if cr.OnProgress != nil {
-			cr.OnProgress(sys.Committed()-measureBase, o.MeasureTxns)
+			cr.OnProgress(sys.Committed()-measureBase, o.MeasuredTxns())
 		}
 	}
 	res := sys.Collect(cfg.Name, sys.Committed()-measureBase)

@@ -9,6 +9,7 @@ package experiments
 import (
 	"oltpsim/internal/core"
 	"oltpsim/internal/oltp"
+	"oltpsim/internal/scenario"
 	"oltpsim/internal/sim"
 	"oltpsim/internal/stats"
 )
@@ -62,6 +63,12 @@ type Options struct {
 	// results themselves are always delivered in input order regardless.
 	// Nil (the default) costs nothing.
 	Progress func(done, total int)
+	// Scenario, when non-nil, replaces the fixed-mix measurement with a
+	// compiled time-varying schedule: the measured length becomes the
+	// schedule's total transactions (MeasureTxns is ignored), phase 0 also
+	// governs warmup, and RunScenario segments the result per phase. Nil —
+	// every committed figure — keeps steady state, byte for byte.
+	Scenario *scenario.Schedule
 	// Zeta shares the Zipf harmonic-sum constants across the harness
 	// constructions of a sweep. Every bar rebuilds its engine from the same
 	// sizing parameters, so without the cache each bar redoes an O(database
@@ -100,7 +107,20 @@ func (o Options) Params(cfg core.Config) oltp.Params {
 	p.CodeReplication = cfg.CodeReplication
 	p.CoresPerChip = cfg.CoresPerChip
 	p.TPCB.Zeta = o.Zeta
+	if o.Scenario != nil {
+		p.Scenario = o.Scenario
+		p.ScenarioBase = o.WarmupTxns
+	}
 	return p
+}
+
+// MeasuredTxns is the measured run length: the scenario's total when one is
+// set, MeasureTxns otherwise.
+func (o Options) MeasuredTxns() uint64 {
+	if o.Scenario != nil {
+		return o.Scenario.TotalTxns()
+	}
+	return o.MeasureTxns
 }
 
 // build assembles the machine for one configuration.
@@ -115,10 +135,12 @@ func (o Options) build(cfg core.Config) *core.System {
 func (o Options) Run(cfg core.Config) stats.RunResult {
 	sys := o.build(cfg)
 	var res stats.RunResult
-	if o.WarmSnapshot != nil && !cfg.Classify {
+	// Warm-snapshot sharing keys on the machine shape only, not the
+	// schedule, so scenario runs always warm for real.
+	if o.WarmSnapshot != nil && !cfg.Classify && o.Scenario == nil {
 		res = o.runWarm(cfg, sys)
 	} else {
-		res = sys.Run(o.WarmupTxns, o.MeasureTxns)
+		res = sys.Run(o.WarmupTxns, o.MeasuredTxns())
 	}
 	res.Name = cfg.Name
 	return res

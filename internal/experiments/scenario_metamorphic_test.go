@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/scenario"
+)
+
+// TestScenarioPrefixExactness is the sharp half of the metamorphic pair:
+// phase A of an A→B profile must equal — exactly, not approximately — the
+// whole of a profile containing A alone. Until the first boundary the two
+// schedules present identical parameters, so the two runs are the same RNG
+// stream and the same machine, and the A segments must be deep-equal.
+func TestScenarioPrefixExactness(t *testing.T) {
+	cfg := core.FullConfig(8, 2*core.MB, 8)
+	o := invariantOptions()
+
+	ab := mixFlipProfile()
+	aOnly := scenario.Profile{Name: "a-only", Phases: []scenario.Phase{ab.Phases[0]}}
+
+	runAB := o
+	runAB.Scenario = compileProfile(t, ab)
+	srAB := runAB.RunScenario(cfg)
+
+	runA := o
+	runA.Scenario = compileProfile(t, aOnly)
+	srA := runA.RunScenario(cfg)
+
+	if !reflect.DeepEqual(srAB.Phases[0], srA.Phases[0]) {
+		t.Errorf("phase A of A->B differs from A alone:\n got %+v\nwant %+v",
+			srAB.Phases[0], srA.Phases[0])
+	}
+}
+
+// TestScenarioPhaseVsSteadyTolerance is the soft half: phase B of an A→B
+// profile runs on caches warmed by A, while a steady run of B's parameters
+// warms on B itself — so the two B measurements differ, but only through
+// warmed state, and their per-transaction costs must agree within a broad
+// tolerance. A phase-switch bug that applies the wrong mix or skew shows up
+// as a factor-level difference, far outside the band.
+func TestScenarioPhaseVsSteadyTolerance(t *testing.T) {
+	cfg := core.FullConfig(8, 2*core.MB, 8)
+	o := invariantOptions()
+
+	ab := mixFlipProfile()
+	b := ab.Phases[1]
+
+	runAB := o
+	runAB.Scenario = compileProfile(t, ab)
+	phaseB := runAB.RunScenario(cfg).Phases[1].Result
+
+	bOnly := scenario.Profile{Name: "b-only", Phases: []scenario.Phase{b}}
+	runB := o
+	// Warm under B's own parameters (phase 0 governs warmup) and for as many
+	// transactions as precede phase B in the A->B run, so both measurements
+	// see comparably warmed caches.
+	runB.WarmupTxns = o.WarmupTxns + ab.Phases[0].Txns
+	runB.Scenario = compileProfile(t, bOnly)
+	steadyB := runB.RunScenario(cfg).Total
+
+	ratio := phaseB.CyclesPerTxn() / steadyB.CyclesPerTxn()
+	if math.Abs(ratio-1) > 0.35 {
+		t.Errorf("phase-B cycles/txn %.1f vs steady-B %.1f (ratio %.3f) outside 35%% warmed-state band",
+			phaseB.CyclesPerTxn(), steadyB.CyclesPerTxn(), ratio)
+	}
+}
+
+// TestScenarioPermutationConservesTotals permutes phase order: A→B and B→A
+// retire the same transaction budget and both satisfy every whole-run
+// conservation identity. The timelines legitimately differ (warmed state is
+// order-dependent), but the accounting cannot.
+func TestScenarioPermutationConservesTotals(t *testing.T) {
+	cfg := core.FullConfig(8, 2*core.MB, 8)
+	o := invariantOptions()
+
+	ab := mixFlipProfile()
+	ba := scenario.Profile{Name: "flip-rev", Phases: []scenario.Phase{ab.Phases[1], ab.Phases[0]}}
+
+	runAB := o
+	runAB.Scenario = compileProfile(t, ab)
+	srAB := runAB.RunScenario(cfg)
+
+	runBA := o
+	runBA.Scenario = compileProfile(t, ba)
+	srBA := runBA.RunScenario(cfg)
+
+	if srAB.Total.Txns != srBA.Total.Txns {
+		t.Errorf("permutation changed committed transactions: %d != %d", srAB.Total.Txns, srBA.Total.Txns)
+	}
+	for _, sr := range []*ScenarioResult{&srAB, &srBA} {
+		for i := range sr.Phases {
+			checkSegment(t, cfg, &sr.Phases[i].Result)
+		}
+		checkSegmentsFold(t, sr)
+	}
+}
+
+// TestScenarioKnobsPropagate proves the phase parameters actually reach the
+// generator — the identity suite alone would pass even if every knob were
+// ignored. A read-heavy phase must retire reads, a scan phase scans, and a
+// skewed phase concentrates misses relative to a uniform one.
+func TestScenarioKnobsPropagate(t *testing.T) {
+	cfg := core.FullConfig(8, 2*core.MB, 8)
+	o := invariantOptions()
+	o.Scenario = compileProfile(t, burstProfile())
+	sr := o.RunScenario(cfg)
+
+	calm, spike := &sr.Phases[0].Result, &sr.Phases[1].Result
+
+	// The spike's mix draws reads and scans; updates alone write far more.
+	// Stores per transaction must drop when most transactions stop writing.
+	calmStores := float64(calm.Stores) / float64(calm.Txns)
+	spikeStores := float64(spike.Stores) / float64(spike.Txns)
+	if spikeStores >= calmStores {
+		t.Errorf("read/scan spike stores/txn %.1f not below pure-update calm %.1f", spikeStores, calmStores)
+	}
+}

@@ -18,6 +18,10 @@ var runResultCounters = map[string]bool{
 	"WriteInvalOps": true,
 	"RACProbes":     true,
 	"RACHits":       true,
+	"L1IAccesses":   true,
+	"L1IMisses":     true,
+	"L1DAccesses":   true,
+	"L1DMisses":     true,
 	"L2Accesses":    true,
 	"IdleCycles":    true,
 }

@@ -262,6 +262,7 @@ func TestContractAnalyzersPinned(t *testing.T) {
 		"oltpsim/internal/rac RAC",
 		"oltpsim/internal/sim RNG",
 		"oltpsim/internal/stats MissTable",
+		"oltpsim/internal/stats RunResult",
 		"oltpsim/internal/tpcb BufferPool",
 		"oltpsim/internal/tpcb CodeFn",
 		"oltpsim/internal/tpcb Engine",

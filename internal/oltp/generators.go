@@ -37,6 +37,9 @@ func (g *serverGen) NextSegment(now uint64, out *kernel.RefBuffer) kernel.Direct
 		// consumed these references, so the redo stores are globally visible
 		// before the log writer reads them.
 		g.h.kernelPipeRead(g)
+		if g.h.scn != nil {
+			return g.scenarioTxn()
+		}
 		in := g.h.eng.DrawTxn(g.rng)
 		g.waitLSN = g.h.eng.ExecTxn(g.sess, in)
 		g.h.kernelSemWait(g)

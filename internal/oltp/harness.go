@@ -82,6 +82,7 @@ type Harness struct {
 	servers []*serverGen
 	lgwr    *lgwrGen
 	dbwr    *dbwrGen
+	scn     *scenarioCtl // nil = steady state
 
 	committed uint64
 
@@ -142,6 +143,10 @@ func NewHarness(p Params) (*Harness, error) {
 	}
 	h.eng = eng
 	h.eng.Prewarm()
+
+	if p.Scenario != nil {
+		h.scn = newScenarioCtl(p.Scenario, p.ScenarioBase, &p.TPCB)
+	}
 
 	// Shared semaphore lines (server <-> log writer communication).
 	totalServers := p.CPUs * p.ServersPerCPU

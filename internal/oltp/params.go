@@ -3,6 +3,7 @@ package oltp
 import (
 	"fmt"
 
+	"oltpsim/internal/scenario"
 	"oltpsim/internal/tpcb"
 )
 
@@ -23,6 +24,15 @@ type Params struct {
 	// CodeReplication replicates instruction pages at every node (paper
 	// Section 6's OS-based replication experiment).
 	CodeReplication bool
+	// Scenario, when non-nil, runs the time-varying workload schedule:
+	// transaction mix, branch skew, and working-set scale switch per phase
+	// at exact committed-transaction boundaries. Nil keeps today's
+	// steady-state fixed-mix TPC-B, byte for byte.
+	Scenario *scenario.Schedule
+	// ScenarioBase is the committed-transaction count at which the
+	// schedule's phase clock starts (normally the warmup length, so phase 0
+	// also governs warmup).
+	ScenarioBase uint64
 
 	// LogIOCycles is the redo-log disk write latency (battery-backed
 	// controller class device; group commit amortizes it).

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzProfileDecode guards the profile decoder's contract: hostile JSON
+// never panics, and every accepted profile (a) survives an encode/decode
+// round trip unchanged, (b) compiles into a schedule whose phases all
+// carry in-range shapes, and (c) answers At() for any position without
+// panicking.
+func FuzzProfileDecode(f *testing.F) {
+	f.Add([]byte(`{"phases":[{"txns":100}]}`))
+	f.Add([]byte(`{"name":"diurnal","phases":[{"name":"day","txns":200,"mix":{"update":3,"read":1},"skew":0.6},{"name":"night","txns":100,"ramp_txns":25,"mix":{"update":1,"read":2,"scan":1},"working_set":0.25,"scan_blocks":4}]}`))
+	f.Add([]byte(`{"time_compression":10,"phases":[{"txns":1000},{"txns":500,"ramp_txns":100,"skew":0.99}]}`))
+	f.Add([]byte(`{"phases":[{"txns":0}]}`))
+	f.Add([]byte(`{"phases":[{"txns":1,"skew":1.5}]}`))
+	f.Add([]byte(`{"phases":[{"txns":1}],"bogus":true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"phases":[{"txns":1}]}trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProfile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(&p)
+		if err != nil {
+			t.Fatalf("accepted profile does not re-encode: %v", err)
+		}
+		p2, err := DecodeProfile(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-encoded profile rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed the profile:\n%+v\n%+v", p, p2)
+		}
+		s, err := p.Compile()
+		if err != nil {
+			t.Fatalf("accepted profile does not compile: %v", err)
+		}
+		if s.NumPhases() != len(p.Phases) {
+			t.Fatalf("compiled %d phases from %d", s.NumPhases(), len(p.Phases))
+		}
+		var cum uint64
+		for i := 0; i < s.NumPhases(); i++ {
+			n := s.PhaseTxns(i)
+			if n < 1 {
+				t.Fatalf("phase %d compiled to %d txns", i, n)
+			}
+			if r := s.RampTxns(i); r > n || (i == 0 && r != 0) {
+				t.Fatalf("phase %d ramp %d out of place (txns %d)", i, r, n)
+			}
+			cum += n
+			if s.Boundary(i) != cum {
+				t.Fatalf("Boundary(%d) = %d, want %d", i, s.Boundary(i), cum)
+			}
+			sh := s.Shape(i)
+			sum := sh.Mix.Update + sh.Mix.Read + sh.Mix.Scan
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("phase %d mix sums to %v", i, sum)
+			}
+			if sh.Skew < 0 || sh.Skew >= 1 || sh.WorkingSet <= 0 || sh.WorkingSet > 1 ||
+				sh.ScanBlocks < 1 || sh.ScanBlocks > MaxScanBlocks {
+				t.Fatalf("phase %d shape out of range: %+v", i, *sh)
+			}
+		}
+		if s.TotalTxns() != cum {
+			t.Fatalf("TotalTxns = %d, want %d", s.TotalTxns(), cum)
+		}
+		for _, pos := range []uint64{0, cum / 2, cum - 1, cum, cum + 1, math.MaxUint64} {
+			pt := s.At(pos)
+			if pt.Phase < 0 || pt.Phase >= s.NumPhases() {
+				t.Fatalf("At(%d).Phase = %d", pos, pt.Phase)
+			}
+			if pt.RampFrac < 0 || pt.RampFrac >= 1 {
+				t.Fatalf("At(%d).RampFrac = %v", pos, pt.RampFrac)
+			}
+		}
+		if s.Fingerprint() == "" {
+			t.Fatal("empty fingerprint")
+		}
+	})
+}

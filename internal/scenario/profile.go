@@ -1,0 +1,357 @@
+// Package scenario defines declarative time-varying workload profiles: an
+// ordered list of phases, each overriding the transaction mix (update /
+// read / scan), the hot-branch Zipf skew, the active working-set scale, and
+// its duration in retired transactions, with optional linear ramps between
+// phases and a global time-compression knob. Profiles are plain JSON
+// (stdlib only), strictly decoded and validated, and compiled into an
+// immutable Schedule the workload layer queries once per committed
+// transaction. Everything here is a pure function of the profile text — no
+// clocks, no maps, no global state — so a compiled schedule perturbs
+// simulation determinism only through the parameters it was asked to vary.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Profile bounds. They are generous for real studies while keeping a
+// hostile profile from parking the simulator on one absurd schedule.
+const (
+	// MaxProfileBytes bounds the JSON text of one profile.
+	MaxProfileBytes = 1 << 20
+	// MaxPhases bounds the phases in one profile.
+	MaxPhases = 64
+	// MaxNameLen bounds the profile and phase display names.
+	MaxNameLen = 100
+	// MaxPhaseTxns bounds one phase's duration in retired transactions.
+	MaxPhaseTxns = 10_000_000
+	// MaxScanBlocks bounds the per-scan block count.
+	MaxScanBlocks = 256
+	// MaxTimeCompression bounds the duration divisor.
+	MaxTimeCompression = 1e6
+	// DefaultScanBlocks is the scan length when a phase leaves scan_blocks
+	// at 0.
+	DefaultScanBlocks = 8
+)
+
+// Mix is a phase's transaction mix as non-negative weights. Weights are
+// normalized at compile time, so {3,1,0} and {0.75,0.25,0} are the same mix.
+// A nil Mix on a phase means pure update — today's steady-state TPC-B.
+type Mix struct {
+	// Update weights the classic TPC-B read-modify-write transaction.
+	Update float64 `json:"update"`
+	// Read weights the read-only variant: the same three row lookups with
+	// no mutation, undo, redo, or history insert.
+	Read float64 `json:"read,omitempty"`
+	// Scan weights a DSS-style sequential scan over account blocks.
+	Scan float64 `json:"scan,omitempty"`
+}
+
+// Phase is one segment of the profile, measured in retired transactions.
+type Phase struct {
+	// Name labels the phase in timelines; optional.
+	Name string `json:"name,omitempty"`
+	// Txns is the phase duration in committed transactions (before time
+	// compression). Must be >= 1.
+	Txns uint64 `json:"txns"`
+	// RampTxns is the length of the linear transition at the start of this
+	// phase: over the first RampTxns transactions, each transaction draws
+	// this phase's parameter set with probability position/RampTxns and the
+	// previous phase's otherwise. Must be <= Txns; the first phase has
+	// nothing to ramp from and must leave it 0.
+	RampTxns uint64 `json:"ramp_txns,omitempty"`
+	// Mix overrides the transaction mix; nil means pure update.
+	Mix *Mix `json:"mix,omitempty"`
+	// Skew is the hot-branch Zipf theta in [0, 1): 0 keeps the uniform
+	// teller/branch selection, larger values concentrate transactions on a
+	// few hot branches.
+	Skew float64 `json:"skew,omitempty"`
+	// WorkingSet scales the active account range per branch, in (0, 1];
+	// 0 means 1 (the whole branch).
+	WorkingSet float64 `json:"working_set,omitempty"`
+	// ScanBlocks is how many account blocks one scan transaction touches;
+	// 0 means DefaultScanBlocks.
+	ScanBlocks int `json:"scan_blocks,omitempty"`
+}
+
+// Profile is the decoded JSON form of a scenario: ordered phases plus the
+// knobs that apply across them.
+type Profile struct {
+	// Name labels the profile in timelines; optional.
+	Name string `json:"name,omitempty"`
+	// TimeCompression divides every phase duration (and ramp), so the same
+	// shape can run short for tests and long for studies; 0 means 1.
+	TimeCompression float64 `json:"time_compression,omitempty"`
+	// Phases run in order; at least one is required. Positions past the
+	// last phase hold its parameters.
+	Phases []Phase `json:"phases"`
+}
+
+// DecodeProfile reads, strictly decodes, bounds, and validates one profile.
+// Any profile it accepts compiles into a valid Schedule (fuzzed by
+// FuzzProfileDecode), and re-encoding an accepted profile round-trips.
+func DecodeProfile(r io.Reader) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(io.LimitReader(r, MaxProfileBytes+1))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("scenario: decoding profile: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return Profile{}, errors.New("scenario: trailing data after profile JSON")
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// validName rejects characters that would corrupt the CSV timeline or the
+// fingerprint framing.
+func validName(s string) error {
+	if len(s) > MaxNameLen {
+		return fmt.Errorf("longer than %d bytes", MaxNameLen)
+	}
+	if strings.ContainsAny(s, ",\"|\n\r") {
+		return errors.New(`contains one of , " | or a newline`)
+	}
+	return nil
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// Validate reports structural errors: bounds, weights, ramp placement.
+func (p *Profile) Validate() error {
+	if err := validName(p.Name); err != nil {
+		return fmt.Errorf("scenario: profile name %v", err)
+	}
+	if len(p.Phases) == 0 {
+		return errors.New("scenario: profile has no phases")
+	}
+	if len(p.Phases) > MaxPhases {
+		return fmt.Errorf("scenario: %d phases exceeds the limit of %d", len(p.Phases), MaxPhases)
+	}
+	if tc := p.TimeCompression; tc != 0 && (!finite(tc) || tc <= 0 || tc > MaxTimeCompression) {
+		return fmt.Errorf("scenario: time_compression %v outside (0, %g]", tc, float64(MaxTimeCompression))
+	}
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		if err := validName(ph.Name); err != nil {
+			return fmt.Errorf("scenario: phase %d name %v", i, err)
+		}
+		if ph.Txns == 0 || ph.Txns > MaxPhaseTxns {
+			return fmt.Errorf("scenario: phase %d txns %d outside [1, %d]", i, ph.Txns, uint64(MaxPhaseTxns))
+		}
+		if ph.RampTxns > ph.Txns {
+			return fmt.Errorf("scenario: phase %d ramp_txns %d exceeds txns %d", i, ph.RampTxns, ph.Txns)
+		}
+		if i == 0 && ph.RampTxns != 0 {
+			return errors.New("scenario: the first phase has nothing to ramp from; ramp_txns must be 0")
+		}
+		if m := ph.Mix; m != nil {
+			for _, w := range [3]float64{m.Update, m.Read, m.Scan} {
+				if !finite(w) || w < 0 {
+					return fmt.Errorf("scenario: phase %d mix weight %v negative or non-finite", i, w)
+				}
+			}
+			if m.Update+m.Read+m.Scan <= 0 {
+				return fmt.Errorf("scenario: phase %d mix weights sum to zero", i)
+			}
+		}
+		if !finite(ph.Skew) || ph.Skew < 0 || ph.Skew >= 1 {
+			return fmt.Errorf("scenario: phase %d skew %v outside [0, 1)", i, ph.Skew)
+		}
+		if ws := ph.WorkingSet; ws != 0 && (!finite(ws) || ws <= 0 || ws > 1) {
+			return fmt.Errorf("scenario: phase %d working_set %v outside (0, 1]", i, ws)
+		}
+		if ph.ScanBlocks < 0 || ph.ScanBlocks > MaxScanBlocks {
+			return fmt.Errorf("scenario: phase %d scan_blocks %d outside [0, %d]", i, ph.ScanBlocks, MaxScanBlocks)
+		}
+	}
+	return nil
+}
+
+// Shape is one phase's effective generator parameters after normalization:
+// the workload layer reads these once per transaction.
+type Shape struct {
+	// Mix is normalized to sum to 1.
+	Mix Mix
+	// Skew is the hot-branch Zipf theta (0 = uniform).
+	Skew float64
+	// WorkingSet is the active account fraction in (0, 1].
+	WorkingSet float64
+	// ScanBlocks is the per-scan block count, >= 1.
+	ScanBlocks int
+}
+
+// compiledPhase is one phase with time compression applied.
+type compiledPhase struct {
+	name  string
+	txns  uint64
+	ramp  uint64
+	shape Shape
+}
+
+// Schedule is the compiled, immutable form of a profile. All methods are
+// read-only and allocation-free, so the workload layer may call them from
+// the simulator's hot path.
+type Schedule struct {
+	name        string
+	fingerprint string
+	phases      []compiledPhase
+	// bounds[i] is the cumulative transaction position at which phase i
+	// ends; bounds[len-1] is the total.
+	bounds []uint64
+}
+
+// compress divides n by the time-compression factor, rounding to nearest,
+// with a floor (1 for phase durations so every phase retires at least one
+// transaction, 0 for ramps).
+func compress(n uint64, tc float64, floor uint64) uint64 {
+	if tc == 0 || tc == 1 {
+		return n
+	}
+	c := uint64(math.Round(float64(n) / tc))
+	if c < floor {
+		return floor
+	}
+	return c
+}
+
+// Compile validates the profile and builds its schedule.
+func (p *Profile) Compile() (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{
+		name:   p.Name,
+		phases: make([]compiledPhase, len(p.Phases)),
+		bounds: make([]uint64, len(p.Phases)),
+	}
+	var cum uint64
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		cp := &s.phases[i]
+		cp.name = ph.Name
+		if cp.name == "" {
+			cp.name = "phase" + strconv.Itoa(i)
+		}
+		cp.txns = compress(ph.Txns, p.TimeCompression, 1)
+		cp.ramp = compress(ph.RampTxns, p.TimeCompression, 0)
+		if cp.ramp > cp.txns {
+			cp.ramp = cp.txns
+		}
+		cp.shape = Shape{Mix: Mix{Update: 1}, Skew: ph.Skew, WorkingSet: 1, ScanBlocks: DefaultScanBlocks}
+		if m := ph.Mix; m != nil {
+			sum := m.Update + m.Read + m.Scan
+			cp.shape.Mix = Mix{Update: m.Update / sum, Read: m.Read / sum, Scan: m.Scan / sum}
+		}
+		if ph.WorkingSet != 0 {
+			cp.shape.WorkingSet = ph.WorkingSet
+		}
+		if ph.ScanBlocks != 0 {
+			cp.shape.ScanBlocks = ph.ScanBlocks
+		}
+		cum += cp.txns
+		s.bounds[i] = cum
+	}
+	s.fingerprint = s.computeFingerprint()
+	return s, nil
+}
+
+// MustCompile panics on validation errors (test fixtures are static, so an
+// error there is a programming mistake).
+func (p *Profile) MustCompile() *Schedule {
+	s, err := p.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the profile's display name.
+func (s *Schedule) Name() string { return s.name }
+
+// NumPhases returns the phase count.
+func (s *Schedule) NumPhases() int { return len(s.phases) }
+
+// PhaseName returns phase i's display name ("phase<i>" when the profile
+// left it blank).
+func (s *Schedule) PhaseName(i int) string { return s.phases[i].name }
+
+// PhaseTxns returns phase i's compiled duration in retired transactions.
+func (s *Schedule) PhaseTxns(i int) uint64 { return s.phases[i].txns }
+
+// RampTxns returns phase i's compiled ramp length.
+func (s *Schedule) RampTxns(i int) uint64 { return s.phases[i].ramp }
+
+// Shape returns phase i's effective generator parameters.
+func (s *Schedule) Shape(i int) *Shape { return &s.phases[i].shape }
+
+// Boundary returns the cumulative transaction position at which phase i
+// ends (Boundary(NumPhases()-1) == TotalTxns()).
+func (s *Schedule) Boundary(i int) uint64 { return s.bounds[i] }
+
+// TotalTxns returns the schedule's total duration in retired transactions.
+func (s *Schedule) TotalTxns() uint64 { return s.bounds[len(s.bounds)-1] }
+
+// Point locates one retired-transaction position on the schedule.
+type Point struct {
+	// Phase is the index of the phase holding the position (positions past
+	// the end stay in the last phase).
+	Phase int
+	// InRamp reports whether the position lies in the phase's ramp window.
+	InRamp bool
+	// RampFrac is the probability of drawing the incoming phase's
+	// parameters at this position (meaningful only when InRamp).
+	RampFrac float64
+}
+
+// At locates pos. The linear walk is over at most MaxPhases entries and
+// allocates nothing, so the workload layer calls it once per transaction.
+func (s *Schedule) At(pos uint64) Point {
+	for i, b := range s.bounds {
+		if pos >= b {
+			continue
+		}
+		pt := Point{Phase: i}
+		if i > 0 {
+			if r := s.phases[i].ramp; r > 0 {
+				if off := pos - s.bounds[i-1]; off < r {
+					pt.InRamp = true
+					pt.RampFrac = float64(off) / float64(r)
+				}
+			}
+		}
+		return pt
+	}
+	return Point{Phase: len(s.phases) - 1}
+}
+
+// Fingerprint identifies the compiled schedule: two profiles that compile
+// to the same phases produce the same fingerprint. Checkpoint containers
+// carry it so a resume under a different scenario is rejected instead of
+// silently mixing streams.
+func (s *Schedule) Fingerprint() string { return s.fingerprint }
+
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func (s *Schedule) computeFingerprint() string {
+	var b strings.Builder
+	b.WriteString("scenario1|")
+	b.WriteString(s.name)
+	for i := range s.phases {
+		p := &s.phases[i]
+		fmt.Fprintf(&b, "|%s,%d,%d,%s,%s,%s,%s,%s,%d",
+			p.name, p.txns, p.ramp,
+			fmtF(p.shape.Mix.Update), fmtF(p.shape.Mix.Read), fmtF(p.shape.Mix.Scan),
+			fmtF(p.shape.Skew), fmtF(p.shape.WorkingSet), p.shape.ScanBlocks)
+	}
+	return b.String()
+}

@@ -20,6 +20,8 @@ func FuzzJobSpecDecode(f *testing.F) {
 	f.Add(`{"machines": [{"procs": 4, "level": "full", "l2": "8M", "assoc": 4, "rac": "2M", "repl": true}], "measure_txns": 100, "workers": 4, "step_workers": 2}`)
 	f.Add(`{"machines": [{"procs": 2, "level": "l2", "l2": "512K", "assoc": 2, "dram": true, "ooo": true}], "measure_txns": 5, "seed": 42, "quick": true}`)
 	f.Add(`{"machines": [{"procs": 1, "level": "cons", "l2": "0.5M", "assoc": 1}], "measure_txns": 1, "checkpoint_every": 0}`)
+	f.Add(`{"machines": [{"procs": 8, "level": "l2", "l2": "2M", "assoc": 8}], "measure_txns": 10, "scenario": {"name": "burst", "phases": [{"name": "calm", "txns": 100}, {"name": "spike", "txns": 50, "ramp_txns": 10, "mix": {"update": 1, "read": 3}, "skew": 0.9}]}}`)
+	f.Add(`{"machines": [{"procs": 1, "level": "base", "l2": "8M", "assoc": 1}], "measure_txns": 10, "scenario": {"phases": [{"txns": 0}]}}`)
 	f.Add(`{"machines": []}`)
 	f.Add(`{"measure_txns": 18446744073709551615}`)
 	f.Add(`[1,2,3]`)
@@ -37,6 +39,15 @@ func FuzzJobSpecDecode(f *testing.F) {
 		}
 		if spec.Workers < 0 || spec.Workers > MaxWorkers || spec.StepWorkers < 0 || spec.StepWorkers > MaxWorkers {
 			t.Fatalf("accepted spec with out-of-bounds workers: %d/%d", spec.Workers, spec.StepWorkers)
+		}
+		if spec.Scenario != nil {
+			sched, err := spec.Scenario.Compile()
+			if err != nil {
+				t.Fatalf("accepted spec carries a scenario that does not compile: %v", err)
+			}
+			if sched.TotalTxns() == 0 || sched.TotalTxns() > MaxTxns {
+				t.Fatalf("accepted spec scenario totals %d transactions", sched.TotalTxns())
+			}
 		}
 		for i, cfg := range cfgs {
 			if err := cfg.Validate(); err != nil {

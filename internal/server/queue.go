@@ -74,6 +74,11 @@ func (j *Job) options() experiments.Options {
 		StepWorkers: j.Spec.StepWorkers,
 		Zeta:        sim.NewZetaCache(),
 	}
+	// The spec was validated at submission (and again at restore), so a
+	// present scenario always compiles.
+	if sp := j.Spec.Scenario; sp != nil {
+		o.Scenario = sp.MustCompile()
+	}
 	return o
 }
 
@@ -119,7 +124,7 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	for i := first; i < len(j.cfgs); i++ {
-		j.startConfig(i, o.MeasureTxns)
+		j.startConfig(i, o.MeasuredTxns())
 		j.publish(j.event("config", i))
 		cr := experiments.CheckpointRun{
 			Every:      every,

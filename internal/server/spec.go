@@ -19,6 +19,7 @@ import (
 
 	"oltpsim/internal/cli"
 	"oltpsim/internal/core"
+	"oltpsim/internal/scenario"
 )
 
 // Spec bounds. They are generous for real studies while keeping a hostile
@@ -69,6 +70,13 @@ type JobSpec struct {
 	// experiments.RunMany but also makes it non-resumable and cancellable
 	// only while queued.
 	CheckpointEvery *uint64 `json:"checkpoint_every,omitempty"`
+	// Scenario, when present, runs every configuration under a time-varying
+	// workload profile (internal/scenario) instead of the fixed mix: the
+	// measured length becomes the schedule's total and measure_txns is
+	// ignored. Results remain whole-run totals — identical to the last
+	// cumulative collection of a phased run — so the result wire format is
+	// unchanged; per-phase timelines are the oltpsim -scenario CLI's job.
+	Scenario *scenario.Profile `json:"scenario,omitempty"`
 }
 
 // DecodeJobSpec reads, strictly decodes, and bounds-checks one job spec,
@@ -119,6 +127,15 @@ func (s *JobSpec) Configs() ([]core.Config, error) {
 	}
 	if s.CheckpointEvery != nil && *s.CheckpointEvery > MaxTxns {
 		return nil, fmt.Errorf("job spec: checkpoint_every exceeds the limit of %d", uint64(MaxTxns))
+	}
+	if s.Scenario != nil {
+		sched, err := s.Scenario.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("job spec: scenario: %w", err)
+		}
+		if sched.TotalTxns() > MaxTxns {
+			return nil, fmt.Errorf("job spec: scenario totals %d transactions, limit is %d", sched.TotalTxns(), uint64(MaxTxns))
+		}
 	}
 	cfgs := make([]core.Config, len(s.Machines))
 	for i, m := range s.Machines {

@@ -80,6 +80,26 @@ func (m *MissTable) RemoteDirty() uint64 {
 // UpgradeTotal returns all upgrades.
 func (m *MissTable) UpgradeTotal() uint64 { return sum(m.Upgrades[:]) }
 
+// Sub removes prev from m. Miss counters are monotone, so with prev an
+// earlier collection of the same run the difference is the segment between
+// the two collection points. Like LoadState, it assembles a fresh table and
+// assigns it whole, keeping field mutation confined to the Count*/Add*
+// accumulators the counterowner analyzer enforces.
+func (m *MissTable) Sub(prev *MissTable) {
+	var i, d, up [coherence.NumCategories]uint64
+	for c := range i {
+		i[c] = m.I[c] - prev.I[c]
+		d[c] = m.D[c] - prev.D[c]
+		up[c] = m.Upgrades[c] - prev.Upgrades[c]
+	}
+	t := MissTable{
+		I: i, D: d, Upgrades: up,
+		RACHitsI: m.RACHitsI - prev.RACHitsI,
+		RACHitsD: m.RACHitsD - prev.RACHitsD,
+	}
+	*m = t
+}
+
 // Add accumulates other into m.
 func (m *MissTable) Add(other *MissTable) {
 	for i := range m.I {
@@ -112,14 +132,21 @@ type RunResult struct {
 	Miss MissTable
 
 	// Protocol and structure counters.
-	Invalidations  uint64
-	Writebacks     uint64
-	Stores         uint64 // store references issued (for invalidation rate)
-	WriteInvalOps  uint64 // write/upgrade transactions that sent >=1 invalidation
-	RACProbes      uint64
-	RACHits        uint64
-	L1IMissRate    float64
-	L1DMissRate    float64
+	Invalidations uint64
+	Writebacks    uint64
+	Stores        uint64 // store references issued (for invalidation rate)
+	WriteInvalOps uint64 // write/upgrade transactions that sent >=1 invalidation
+	RACProbes     uint64
+	RACHits       uint64
+	L1IMissRate   float64
+	L1DMissRate   float64
+	// L1IAccesses..L1DMisses are the raw counters behind the miss rates.
+	// Rates cannot be differenced across cumulative collections, so
+	// per-phase segmentation (Sub) recomputes them from these.
+	L1IAccesses    uint64
+	L1IMisses      uint64
+	L1DAccesses    uint64
+	L1DMisses      uint64
 	L2Accesses     uint64
 	KernelFraction float64
 	Utilization    float64 // busy / non-idle
@@ -136,6 +163,44 @@ func (r *RunResult) AddNode(miss *MissTable, stores, l2Accesses, racProbes, racH
 	r.L2Accesses += l2Accesses
 	r.RACProbes += racProbes
 	r.RACHits += racHits
+}
+
+// Sub returns cum minus prev: the run segment between two cumulative
+// collection points (a scenario phase). Monotone counters subtract;
+// rates and fractions are recomputed from the segment's own counters, and
+// the Name carries over from cum (callers relabel per phase).
+func Sub(cum, prev *RunResult) RunResult {
+	r := RunResult{
+		Name:          cum.Name,
+		Txns:          cum.Txns - prev.Txns,
+		Breakdown:     cum.Breakdown,
+		Miss:          cum.Miss,
+		Invalidations: cum.Invalidations - prev.Invalidations,
+		Writebacks:    cum.Writebacks - prev.Writebacks,
+		Stores:        cum.Stores - prev.Stores,
+		WriteInvalOps: cum.WriteInvalOps - prev.WriteInvalOps,
+		RACProbes:     cum.RACProbes - prev.RACProbes,
+		RACHits:       cum.RACHits - prev.RACHits,
+		L1IAccesses:   cum.L1IAccesses - prev.L1IAccesses,
+		L1IMisses:     cum.L1IMisses - prev.L1IMisses,
+		L1DAccesses:   cum.L1DAccesses - prev.L1DAccesses,
+		L1DMisses:     cum.L1DMisses - prev.L1DMisses,
+		L2Accesses:    cum.L2Accesses - prev.L2Accesses,
+		IdleCycles:    cum.IdleCycles - prev.IdleCycles,
+	}
+	r.Breakdown.Sub(&prev.Breakdown)
+	r.Miss.Sub(&prev.Miss)
+	if r.L1IAccesses > 0 {
+		r.L1IMissRate = float64(r.L1IMisses) / float64(r.L1IAccesses)
+	}
+	if r.L1DAccesses > 0 {
+		r.L1DMissRate = float64(r.L1DMisses) / float64(r.L1DAccesses)
+	}
+	if nd := r.Breakdown.NonIdle(); nd > 0 {
+		r.KernelFraction = float64(r.Breakdown.Kernel) / float64(nd)
+		r.Utilization = float64(r.Breakdown.Busy) / float64(nd)
+	}
+	return r
 }
 
 // CyclesPerTxn is the figure metric: non-idle cycles per committed

@@ -22,6 +22,8 @@ type EngineStats struct {
 	RemoteBranch  uint64 // transactions whose account came from another branch
 	HistoryBlocks uint64 // history block switches
 	UndoBlocks    uint64 // undo block switches
+	ReadTxns      uint64 // read-only transactions (scenario mixes)
+	ScanTxns      uint64 // scan transactions (scenario mixes)
 }
 
 // Session is the per-server-process execution context: its private PGA, its
@@ -35,6 +37,7 @@ type Session struct {
 	undoOff      int
 	pinned       []int32 // frames pinned by the current transaction
 	lastLSN      uint64
+	scanBlock    int32 // persistent scan cursor over account blocks
 }
 
 // Engine is the instrumented TPC-B database engine. All methods must be
@@ -184,7 +187,11 @@ func (e *Engine) Prewarm() {
 // NewSession creates the execution context for one server process. pgaBase
 // is the process's private memory region.
 func (e *Engine) NewSession(id int, pgaBase uint64) *Session {
-	return &Session{ID: id, PGABase: pgaBase, UndoSeg: id % e.cfg.UndoSegments}
+	s := &Session{ID: id, PGABase: pgaBase, UndoSeg: id % e.cfg.UndoSegments}
+	// Stagger scan cursors (scenario mixes) so concurrent scanning sessions
+	// cover different parts of the account table instead of convoying.
+	s.scanBlock = int32(uint64(id) * 2654435761 % uint64(e.cfg.AccountBlocks()))
+	return s
 }
 
 // dictAddr returns a dictionary-cache entry's line, page-strided so entry
@@ -227,18 +234,7 @@ type TxnInput struct {
 // an account from the same branch with probability 85% (the TPC-A/B
 // "remote branch" rule), uniform over all other branches otherwise.
 func (e *Engine) DrawTxn(r *sim.RNG) TxnInput {
-	teller := r.Intn(e.cfg.Tellers())
-	branch := teller / e.cfg.TellersPerBranch
-	acctBranch := branch
-	if e.cfg.Branches > 1 && r.Float64() < 0.15 {
-		acctBranch = r.Intn(e.cfg.Branches - 1)
-		if acctBranch >= branch {
-			acctBranch++
-		}
-	}
-	acct := acctBranch*e.cfg.AccountsPerBranch + r.Intn(e.cfg.AccountsPerBranch)
-	delta := int64(r.Intn(1_999_999)) - 999_999 // [-999999, +999999] per spec
-	return TxnInput{Teller: teller, Branch: branch, Acct: acct, Delta: delta}
+	return e.DrawTxnShaped(r, nil, 1)
 }
 
 // ExecTxn runs one TPC-B transaction body for sess up to and including the

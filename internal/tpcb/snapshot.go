@@ -28,6 +28,8 @@ func (e *Engine) SaveState(enc *snapshot.Encoder) {
 	enc.U64(e.Stats.RemoteBranch)
 	enc.U64(e.Stats.HistoryBlocks)
 	enc.U64(e.Stats.UndoBlocks)
+	enc.U64(e.Stats.ReadTxns)
+	enc.U64(e.Stats.ScanTxns)
 	enc.Int(len(e.code.All))
 	for _, f := range e.code.All {
 		enc.Int(f.pos)
@@ -66,6 +68,8 @@ func (e *Engine) LoadState(d *snapshot.Decoder) error {
 		RemoteBranch:  d.U64(),
 		HistoryBlocks: d.U64(),
 		UndoBlocks:    d.U64(),
+		ReadTxns:      d.U64(),
+		ScanTxns:      d.U64(),
 	}
 	nFns := d.Int()
 	if d.Err() != nil {
@@ -142,6 +146,7 @@ func (s *Session) SaveState(e *snapshot.Encoder) {
 	}
 	e.I64s(pinned)
 	e.U64(s.lastLSN)
+	e.I64(int64(s.scanBlock))
 }
 
 // LoadState restores the session cursors.
@@ -150,11 +155,15 @@ func (s *Session) LoadState(d *snapshot.Decoder) error {
 	off := d.Int()
 	pinned := d.I64s()
 	lastLSN := d.U64()
+	scanBlock := d.I64()
 	if err := d.Err(); err != nil {
 		return err
 	}
 	if idx < 0 || off < 0 {
 		return fmt.Errorf("tpcb: session %d undo cursor %d/%d negative", s.ID, idx, off)
+	}
+	if scanBlock < 0 {
+		return fmt.Errorf("tpcb: session %d scan cursor %d negative", s.ID, scanBlock)
 	}
 	s.undoBlockIdx = idx
 	s.undoOff = off
@@ -163,6 +172,7 @@ func (s *Session) LoadState(d *snapshot.Decoder) error {
 		s.pinned = append(s.pinned, int32(f))
 	}
 	s.lastLSN = lastLSN
+	s.scanBlock = int32(scanBlock)
 	return nil
 }
 
